@@ -1,0 +1,92 @@
+// Shared helpers for the experiment harnesses (bench_f1 ... bench_t6).
+//
+// Each bench binary regenerates one row of the DESIGN.md experiment index:
+// it prints a plain-text table whose *shape* (who wins, by what factor,
+// where crossovers fall) mirrors the corresponding claim of the paper.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/demand.h"
+#include "core/path_system.h"
+#include "core/semi_oblivious.h"
+#include "graph/generators.h"
+#include "oblivious/racke.h"
+#include "oblivious/routing.h"
+#include "oblivious/shortest_path_routing.h"
+#include "oblivious/valiant.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace sor::bench {
+
+/// Prints the experiment banner.
+inline void banner(const char* id, const char* claim) {
+  std::printf("==== %s ====\n%s\n\n", id, claim);
+}
+
+/// A named test topology plus a matching oblivious routing. The graph lives
+/// behind a unique_ptr so that the routing's internal pointer to it stays
+/// valid when the Instance is moved (e.g. into a vector).
+struct Instance {
+  std::string name;
+  std::unique_ptr<Graph> graph_owner;
+  std::unique_ptr<ObliviousRouting> routing;
+
+  const Graph& graph() const { return *graph_owner; }
+};
+
+inline Instance make_hypercube(int dim) {
+  Instance inst;
+  inst.name = "hypercube(d=" + std::to_string(dim) + ")";
+  inst.graph_owner = std::make_unique<Graph>(gen::hypercube(dim));
+  inst.routing = std::make_unique<ValiantRouting>(*inst.graph_owner, dim);
+  return inst;
+}
+
+inline Instance make_expander(int n, int degree, Rng& rng, int num_trees = 10) {
+  Instance inst;
+  inst.name = "expander(n=" + std::to_string(n) + ",d=" +
+              std::to_string(degree) + ")";
+  inst.graph_owner = std::make_unique<Graph>(gen::random_regular(n, degree, rng));
+  inst.routing = std::make_unique<RackeRouting>(
+      *inst.graph_owner, RackeOptions{.num_trees = num_trees, .eta = 6.0}, rng);
+  return inst;
+}
+
+inline Instance make_torus(int side, Rng& rng, int num_trees = 10) {
+  Instance inst;
+  inst.name = "torus(" + std::to_string(side) + "x" + std::to_string(side) + ")";
+  inst.graph_owner = std::make_unique<Graph>(gen::grid(side, side, /*wrap=*/true));
+  inst.routing = std::make_unique<RackeRouting>(
+      *inst.graph_owner, RackeOptions{.num_trees = num_trees, .eta = 6.0}, rng);
+  return inst;
+}
+
+/// Max and mean semi-oblivious competitive ratio of alpha-samples over an
+/// ensemble of permutation demands, using the cheap distance lower bound
+/// combined with an MWU bound when affordable.
+struct RatioSummary {
+  double mean_ratio = 0.0;
+  double max_ratio = 0.0;
+};
+
+/// Lower bound on opt: distance duality (cheap) optionally sharpened by a
+/// short MWU run for small instances.
+inline double opt_lower_bound(const Graph& g, const Demand& d,
+                              bool run_mwu) {
+  double lb = distance_lower_bound(g, d);
+  lb = std::max(lb, d.size() / g.total_capacity());
+  if (run_mwu) {
+    MinCongestionOptions options;
+    options.rounds = 200;
+    options.min_rounds = 30;
+    lb = std::max(lb, optimal_congestion(g, d, options).lower);
+  }
+  return lb;
+}
+
+}  // namespace sor::bench

@@ -1,0 +1,118 @@
+// Experiment T1 — Theorems 2.3 & 2.5 (the sparsity/competitiveness curve).
+//
+// Paper claim: an alpha-sample of a competitive oblivious routing is
+// n^{O(1/alpha)}-competitive; each extra path improves competitiveness
+// polynomially, reaching polylog at alpha = O(log n / log log n).
+//
+// We sweep alpha on three topologies, measure the worst and mean
+// competitive ratio over an ensemble of random permutation demands, and
+// print the curve. Expected shape: steep drop from alpha = 1, flattening
+// near alpha ~ log n.
+#include <set>
+
+#include "bench_common.h"
+#include "core/adversary_search.h"
+
+namespace {
+
+using namespace sor;
+
+void run_instance(const bench::Instance& inst, Rng& rng) {
+  std::printf("-- %s: %d vertices, %d edges --\n", inst.name.c_str(),
+              inst.graph().num_vertices(), inst.graph().num_edges());
+  const int n = inst.graph().num_vertices();
+  const int num_demands = 5;
+
+  // Demands are fixed across alphas so columns are comparable.
+  std::vector<Demand> demands;
+  std::vector<double> opt_lb;
+  for (int i = 0; i < num_demands; ++i) {
+    demands.push_back(gen::random_permutation_demand(n, rng));
+    opt_lb.push_back(
+        bench::opt_lower_bound(inst.graph(), demands.back(), n <= 150));
+  }
+
+  // One pooled pair set so each alpha's sample covers all ensemble demands.
+  std::vector<std::pair<int, int>> pairs;
+  {
+    std::set<std::pair<int, int>> pool;
+    for (const Demand& d : demands) {
+      for (const auto& [pair, value] : d.entries()) pool.insert(pair);
+    }
+    pairs.assign(pool.begin(), pool.end());
+  }
+
+  Table table({"alpha", "mean ratio", "max ratio", "sparsity"});
+  for (int alpha : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    const PathSystem ps =
+        sample_path_system(*inst.routing, alpha, pairs, rng);
+    std::vector<double> ratios;
+    for (int i = 0; i < num_demands; ++i) {
+      MinCongestionOptions options;
+      options.rounds = 400;
+      const auto routed =
+          route_fractional(inst.graph(), ps, demands[static_cast<std::size_t>(i)],
+                           options);
+      ratios.push_back(routed.congestion /
+                       opt_lb[static_cast<std::size_t>(i)]);
+    }
+    const Summary s = summarize(ratios);
+    table.row()
+        .cell(alpha)
+        .cell(s.mean, 2)
+        .cell(s.max, 2)
+        .cell(ps.sparsity());
+  }
+  table.print();
+  std::printf("\n");
+}
+
+// Random ensembles under-estimate worst-case competitiveness, so we also
+// hill-climb for bad permutation demands (adversary search) on a smaller
+// hypercube where each candidate demand can be routed quickly.
+void run_adversarial(Rng& rng) {
+  std::printf(
+      "-- adversarially searched demands (hypercube d=5, hill-climbed) --\n");
+  auto inst = bench::make_hypercube(5);
+  std::vector<int> vertices;
+  for (int v = 0; v < inst.graph().num_vertices(); ++v) vertices.push_back(v);
+  Table table({"alpha", "worst-found ratio", "improving moves"});
+  for (int alpha : {1, 2, 4, 8}) {
+    const PathSystem ps =
+        sample_path_system_all_pairs(*inst.routing, alpha, rng);
+    AdversarySearchOptions options;
+    options.iterations = 40;
+    options.pool = 2;
+    const auto result =
+        find_bad_permutation(inst.graph(), ps, vertices, rng, options);
+    table.row()
+        .cell(alpha)
+        .cell(result.ratio, 2)
+        .cell(result.improving_moves);
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("T1: sparsity vs competitiveness (Theorems 2.3 & 2.5)",
+                "competitive ratio of alpha-samples drops steeply with "
+                "alpha and flattens near alpha ~ log n");
+  Rng rng(11);
+  {
+    auto inst = bench::make_hypercube(7);
+    run_instance(inst, rng);
+  }
+  {
+    auto inst = bench::make_expander(128, 4, rng);
+    run_instance(inst, rng);
+  }
+  {
+    auto inst = bench::make_torus(12, rng);
+    run_instance(inst, rng);
+  }
+  run_adversarial(rng);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment T3 — Section 1.1 traffic-engineering consequence (SMORE).
+//
+// Paper claim: sampling a small constant number of tunnels (alpha = 4 in
+// SMORE) from an oblivious routing and adapting rates yields near-optimal,
+// robust traffic engineering; the competitiveness improvement is steep in
+// alpha, so 4 is a practical sweet spot.
+//
+// We sweep alpha over WAN-like topologies x gravity demand suites (with a
+// demand shift stress) and report semi-oblivious vs fixed-split-oblivious
+// vs optimal congestion. Expected shape: semi/opt close to 1 by alpha = 4;
+// oblivious/opt noticeably worse and not improving as fast.
+#include "bench_common.h"
+
+namespace {
+
+using namespace sor;
+
+double oblivious_split_congestion(const Graph& g, const PathSystem& ps,
+                                  const Demand& d) {
+  std::vector<Commodity> commodities = d.commodities();
+  std::vector<std::vector<Path>> paths;
+  std::vector<std::vector<double>> weights;
+  for (const Commodity& c : commodities) {
+    const auto& list = ps.paths(c.s, c.t);
+    paths.push_back(list);
+    weights.emplace_back(list.size(),
+                         c.amount / static_cast<double>(list.size()));
+  }
+  return congestion_of_weights(g, commodities, paths, weights);
+}
+
+void run_topology(const std::string& name, const Graph& g, Rng& rng) {
+  std::printf("-- %s: %d nodes, %d links --\n", name.c_str(),
+              g.num_vertices(), g.num_edges());
+  RackeRouting oblivious(g, {.num_trees = 12}, rng);
+
+  // Demand suite: three gravity matrices at different scales plus a
+  // hot-spot shifted one.
+  std::vector<Demand> demands;
+  for (double scale : {0.5, 1.0, 1.5}) {
+    demands.push_back(
+        gen::gravity_demand(g, 4.0 * g.num_vertices() * scale));
+  }
+  {
+    Demand shifted = demands[1];
+    const int a = 0;
+    const int b = g.num_vertices() - 1;
+    shifted.add(a, b, 2.0 * g.num_vertices());
+    demands.push_back(shifted);
+  }
+  // Incast stress: a few hotspot sinks each receiving from many sources.
+  demands.push_back(gen::hotspot_demand(
+      g.num_vertices(), /*hotspots=*/2,
+      /*fanin=*/std::max(2, g.num_vertices() / 4), /*amount=*/2.0, rng));
+  std::vector<double> opt;
+  for (const Demand& d : demands) {
+    MinCongestionOptions options;
+    options.rounds = 400;
+    opt.push_back(std::max(bench::opt_lower_bound(g, d, false),
+                           optimal_congestion(g, d, options).lower));
+  }
+
+  Table table({"alpha", "semi/opt mean", "semi/opt max", "obl/opt mean",
+               "obl/opt max"});
+  for (int alpha : {1, 2, 4, 8}) {
+    const PathSystem tunnels =
+        sample_path_system_all_pairs(oblivious, alpha, rng);
+    std::vector<double> semi_ratios;
+    std::vector<double> obl_ratios;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      MinCongestionOptions options;
+      options.rounds = 400;
+      const auto semi = route_fractional(g, tunnels, demands[i], options);
+      semi_ratios.push_back(semi.congestion / opt[i]);
+      obl_ratios.push_back(
+          oblivious_split_congestion(g, tunnels, demands[i]) / opt[i]);
+    }
+    const Summary ss = summarize(semi_ratios);
+    const Summary os = summarize(obl_ratios);
+    table.row()
+        .cell(alpha)
+        .cell(ss.mean, 2)
+        .cell(ss.max, 2)
+        .cell(os.mean, 2)
+        .cell(os.max, 2);
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("T3: semi-oblivious traffic engineering (SMORE, alpha=4)",
+                "adaptive rates over ~4 sampled tunnels track the optimum "
+                "and stay robust under demand shifts");
+  Rng rng(21);
+  run_topology("Abilene WAN", gen::abilene(10.0), rng);
+  run_topology("fat-tree(k=4)", gen::fat_tree(4), rng);
+  run_topology("random-geometric(60)", gen::random_geometric(60, 0.22, rng),
+               rng);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Experiment T4 — Lemmas 2.8 & 2.9 (completion-time competitiveness).
+//
+// Paper claim: sampling from hop-constrained oblivious routings at
+// O(log n) geometric scales gives a path system that is polylog-competitive
+// for congestion + dilation, where congestion-only optimization can be
+// badly non-competitive ([GHZ21] separation).
+//
+// We route heavy single-pair demand through "dilation trap" graphs (a short
+// direct edge vs long fat detours) and a torus, comparing congestion-only
+// routing vs the multi-scale completion-time router. Expected shape: the
+// completion-time router's cong+dil objective beats congestion-only routing
+// whenever the trap is active, and matches it otherwise.
+#include "bench_common.h"
+#include "core/completion_time.h"
+
+namespace {
+
+using namespace sor;
+
+void run() {
+  bench::banner("T4: completion time (congestion + dilation), Lemmas 2.8/2.9",
+                "multi-scale hop-constrained sampling is cong+dil "
+                "competitive where congestion-only is not");
+  Rng rng(31);
+  Table table({"instance", "demand", "cong-only: c", "d", "c+d",
+               "compl-time: c", "d", "c+d", "improvement"});
+
+  struct Case {
+    std::string name;
+    Graph graph;
+    Demand demand;
+  };
+  std::vector<Case> cases;
+  {
+    // Light demand: the direct edge alone gives c+d = 6; congestion-only
+    // optimization still spreads over the 12-hop detours (lower congestion,
+    // much worse completion time).
+    Case c;
+    c.name = "trap(L=12) light";
+    c.graph = gen::dilation_trap(12, 3, 10.0);
+    c.demand.set(0, 1, 5.0);
+    cases.push_back(std::move(c));
+  }
+  {
+    // Heavy demand: all-direct costs c+d = 61; balancing wins.
+    Case c;
+    c.name = "trap(L=8) heavy";
+    c.graph = gen::dilation_trap(8, 4, 25.0);
+    c.demand.set(0, 1, 60.0);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.name = "trap(L=12) medium";
+    c.graph = gen::dilation_trap(12, 2, 50.0);
+    c.demand.set(0, 1, 40.0);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.name = "torus(8x8) permutation";
+    c.graph = gen::grid(8, 8, /*wrap=*/true);
+    c.demand = gen::random_permutation_demand(64, rng);
+    cases.push_back(std::move(c));
+  }
+
+  for (auto& cs : cases) {
+    const auto scales =
+        geometric_hop_scales(cs.graph.num_vertices(), 2.0);
+    const PathSystem ps = sample_multi_scale_path_system(
+        cs.graph, /*alpha=*/4, scales, support_pairs(cs.demand), rng);
+
+    MinCongestionOptions options;
+    options.rounds = 400;
+    const auto cong_only = route_fractional(cs.graph, ps, cs.demand, options);
+    const double cong_only_objective =
+        cong_only.congestion + static_cast<double>(cong_only.max_hops);
+    const auto balanced =
+        route_completion_time(cs.graph, ps, cs.demand, options);
+
+    table.row()
+        .cell(cs.name)
+        .cell(cs.demand.size(), 0)
+        .cell(cong_only.congestion, 1)
+        .cell(cong_only.max_hops)
+        .cell(cong_only_objective, 1)
+        .cell(balanced.congestion, 1)
+        .cell(balanced.dilation)
+        .cell(balanced.objective, 1)
+        .cell(cong_only_objective / balanced.objective, 2);
+  }
+  table.print();
+  std::printf(
+      "\nreading: on the traps, congestion-only routing spreads across the\n"
+      "long detours (huge dilation) or pays full congestion; the\n"
+      "completion-time router balances and wins on c+d. On the torus both\n"
+      "agree (no trap), matching the paper's 'benign instances already\n"
+      "behave' observation.\n\n");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Experiment T6 — Theorem 5.3 internals: the Main Lemma's deletion process
+// (Lemma 5.6) and the weak-to-strong reduction (Lemma 5.8).
+//
+// Paper claim: for a special demand and an (alpha+cut)-sample, deleting
+// paths over threshold-gamma edges still routes >= half of the demand
+// (w.h.p.), and iterating this routes everything in O(log m) rounds at a
+// 4*gamma-per-round congestion budget.
+//
+// We run the literal process on hypercubes/expanders with alpha ~ log n
+// and sweep gamma. Expected shape: routed fraction jumps to ~1 around
+// gamma = O(1)..O(log n); iterative halving finishes in a handful of
+// rounds with zero flush.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/weak_routing.h"
+
+namespace {
+
+using namespace sor;
+
+void run_instance(const bench::Instance& inst, Rng& rng) {
+  std::printf("-- %s --\n", inst.name.c_str());
+  const int n = inst.graph().num_vertices();
+  const int alpha = std::max(2, static_cast<int>(std::log2(n)));
+  const Demand d = gen::random_permutation_demand(n, rng);
+  const PathSystem ps =
+      sample_path_system(*inst.routing, alpha, support_pairs(d), rng);
+
+  Table table({"gamma", "routed frac", "edges cut", "halving rounds",
+               "flushed", "final cong", "cong/(4*g*rounds)"});
+  for (double gamma : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto pass = run_deletion_process(inst.graph(), ps, d, gamma);
+    const auto full = iterative_halving_route(inst.graph(), ps, d, gamma);
+    const double budget = 4.0 * gamma * std::max(full.rounds, 1);
+    table.row()
+        .cell(gamma, 1)
+        .cell(pass.routed_fraction, 3)
+        .cell(pass.edges_overloaded)
+        .cell(full.rounds)
+        .cell(full.flushed_size, 1)
+        .cell(full.congestion, 2)
+        .cell(full.congestion / budget, 2);
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("T6: deletion process & iterative halving (Lemmas 5.6/5.8)",
+                "half the demand survives threshold gamma = O(polylog); "
+                "O(log m) rounds route everything");
+  Rng rng(51);
+  {
+    auto inst = bench::make_hypercube(6);
+    run_instance(inst, rng);
+  }
+  {
+    auto inst = bench::make_hypercube(8);
+    run_instance(inst, rng);
+  }
+  {
+    auto inst = bench::make_expander(128, 4, rng);
+    run_instance(inst, rng);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: the full semi-oblivious routing pipeline in ~40 lines.
+//
+//   1. build a network,
+//   2. build a competitive oblivious routing (Racke-style trees),
+//   3. alpha-sample a sparse path system from it (Definition 5.2) — this is
+//      the part installed in the network BEFORE traffic is known,
+//   4. when the demand arrives, adapt the sending rates over the sampled
+//      paths (Stage 4) and compare with the offline optimum.
+#include <cstdio>
+
+#include "core/rounding.h"
+#include "core/semi_oblivious.h"
+#include "graph/generators.h"
+#include "oblivious/racke.h"
+
+int main() {
+  sor::Rng rng(2023);
+
+  // A 64-vertex 4-regular expander-ish network with unit capacities.
+  sor::Graph network = sor::gen::random_regular(64, 4, rng);
+  std::printf("network: %d vertices, %d edges\n", network.num_vertices(),
+              network.num_edges());
+
+  // Oblivious substrate: a distribution over routing trees (Raecke).
+  sor::RackeRouting oblivious(network, {.num_trees = 10}, rng);
+
+  // Install alpha = 4 candidate paths per pair, before seeing any traffic.
+  const int alpha = 4;
+  const sor::PathSystem candidates =
+      sor::sample_path_system_all_pairs(oblivious, alpha, rng);
+  std::printf("installed %zu candidate paths (sparsity %d)\n",
+              candidates.total_paths(), candidates.sparsity());
+
+  // Traffic arrives: a random permutation demand.
+  const sor::Demand demand =
+      sor::gen::random_permutation_demand(network.num_vertices(), rng);
+  std::printf("demand: %zu packets\n", demand.support_size());
+
+  // Adapt sending rates over the pre-installed paths.
+  const sor::SemiObliviousSolution routed =
+      sor::route_fractional(network, candidates, demand);
+  const sor::OptimalCongestion opt = sor::optimal_congestion(network, demand);
+  std::printf("semi-oblivious congestion: %.3f\n", routed.congestion);
+  std::printf("offline optimum: in [%.3f, %.3f]\n", opt.lower, opt.upper);
+  std::printf("competitive ratio: <= %.2f\n",
+              sor::competitive_ratio(routed, opt));
+
+  // One path per packet (Lemma 6.3 rounding + local search).
+  auto integral = sor::round_randomized(network, routed, rng, 8);
+  sor::local_search_improve(network, integral);
+  std::printf("integral (one-path-per-packet) congestion: %.0f\n",
+              integral.congestion);
+  return 0;
+}

@@ -1,0 +1,182 @@
+// sor_cli — run the full semi-oblivious routing pipeline from the command
+// line. The tool a downstream user reaches for first:
+//
+//   sor_cli --topology hypercube --size 8 --alpha 4
+//           --demand permutation --seed 7 [--integral] [--dot out.dot]
+//
+// Topologies: hypercube (size = dimension), torus (size = side), expander
+// (size = n, degree 4), abilene, fattree (size = k), gadget (size = n,
+// alpha used for k). Demands: permutation, bitreversal (hypercube only),
+// gravity, pairs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/rounding.h"
+#include "core/semi_oblivious.h"
+#include "graph/generators.h"
+#include "io/serialization.h"
+#include "oblivious/racke.h"
+#include "oblivious/shortest_path_routing.h"
+#include "oblivious/valiant.h"
+
+namespace {
+
+struct Options {
+  std::string topology = "hypercube";
+  int size = 6;
+  int alpha = 4;
+  std::string demand = "permutation";
+  std::uint64_t seed = 1;
+  bool integral = false;
+  std::string dot_path;
+};
+
+void usage() {
+  std::printf(
+      "usage: sor_cli [--topology hypercube|torus|expander|abilene|fattree|"
+      "gadget]\n"
+      "               [--size N] [--alpha A] "
+      "[--demand permutation|bitreversal|gravity|pairs]\n"
+      "               [--seed S] [--integral] [--dot FILE]\n");
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--topology")) {
+      const char* v = next("--topology");
+      if (!v) return false;
+      opt.topology = v;
+    } else if (!std::strcmp(argv[i], "--size")) {
+      const char* v = next("--size");
+      if (!v) return false;
+      opt.size = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--alpha")) {
+      const char* v = next("--alpha");
+      if (!v) return false;
+      opt.alpha = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--demand")) {
+      const char* v = next("--demand");
+      if (!v) return false;
+      opt.demand = v;
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      const char* v = next("--seed");
+      if (!v) return false;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (!std::strcmp(argv[i], "--integral")) {
+      opt.integral = true;
+    } else if (!std::strcmp(argv[i], "--dot")) {
+      const char* v = next("--dot");
+      if (!v) return false;
+      opt.dot_path = v;
+    } else if (!std::strcmp(argv[i], "--help")) {
+      usage();
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage();
+      return false;
+    }
+  }
+  if (opt.size < 1 || opt.alpha < 1) {
+    std::fprintf(stderr, "size and alpha must be positive\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 1;
+  sor::Rng rng(opt.seed);
+
+  sor::Graph g;
+  std::unique_ptr<sor::ObliviousRouting> routing;
+  if (opt.topology == "hypercube") {
+    g = sor::gen::hypercube(opt.size);
+    routing = std::make_unique<sor::ValiantRouting>(g, opt.size);
+  } else if (opt.topology == "torus") {
+    g = sor::gen::grid(opt.size, opt.size, /*wrap=*/true);
+    routing = std::make_unique<sor::RackeRouting>(
+        g, sor::RackeOptions{.num_trees = 10, .eta = 6.0}, rng);
+  } else if (opt.topology == "expander") {
+    g = sor::gen::random_regular(opt.size, 4, rng);
+    routing = std::make_unique<sor::RackeRouting>(
+        g, sor::RackeOptions{.num_trees = 10, .eta = 6.0}, rng);
+  } else if (opt.topology == "abilene") {
+    g = sor::gen::abilene(10.0);
+    routing = std::make_unique<sor::RackeRouting>(
+        g, sor::RackeOptions{.num_trees = 12, .eta = 6.0}, rng);
+  } else if (opt.topology == "fattree") {
+    g = sor::gen::fat_tree(opt.size);
+    routing = std::make_unique<sor::RackeRouting>(
+        g, sor::RackeOptions{.num_trees = 10, .eta = 6.0}, rng);
+  } else if (opt.topology == "gadget") {
+    const int k = sor::gen::lower_bound_k(opt.size, opt.alpha);
+    g = sor::gen::lower_bound_gadget(opt.size, k);
+    routing = std::make_unique<sor::RandomShortestPathRouting>(g);
+  } else {
+    std::fprintf(stderr, "unknown topology %s\n", opt.topology.c_str());
+    return 1;
+  }
+  std::printf("topology %s: %d vertices, %d edges\n", opt.topology.c_str(),
+              g.num_vertices(), g.num_edges());
+
+  sor::Demand d;
+  if (opt.demand == "permutation") {
+    d = sor::gen::random_permutation_demand(g.num_vertices(), rng);
+  } else if (opt.demand == "bitreversal") {
+    if (opt.topology != "hypercube") {
+      std::fprintf(stderr, "bitreversal needs --topology hypercube\n");
+      return 1;
+    }
+    d = sor::gen::bit_reversal_demand(opt.size);
+  } else if (opt.demand == "gravity") {
+    d = sor::gen::gravity_demand(g, 4.0 * g.num_vertices());
+  } else if (opt.demand == "pairs") {
+    d = sor::gen::random_pairs_demand(g.num_vertices(),
+                                      g.num_vertices() / 2, rng);
+  } else {
+    std::fprintf(stderr, "unknown demand %s\n", opt.demand.c_str());
+    return 1;
+  }
+  std::printf("demand: %zu pairs, size %.1f\n", d.support_size(), d.size());
+
+  const sor::PathSystem ps =
+      sor::sample_path_system(*routing, opt.alpha, sor::support_pairs(d), rng);
+  std::printf("sampled %zu candidate paths (alpha = %d) from %s\n",
+              ps.total_paths(), opt.alpha, routing->name().c_str());
+
+  const auto solution = sor::route_fractional(g, ps, d);
+  const auto opt_cong = sor::optimal_congestion(g, d);
+  std::printf("fractional congestion: %.4f\n", solution.congestion);
+  std::printf("offline optimum in [%.4f, %.4f] -> ratio <= %.2f\n",
+              opt_cong.lower, opt_cong.upper,
+              solution.congestion / opt_cong.value());
+
+  if (opt.integral && d.is_zero_one()) {
+    auto integral = sor::round_randomized(g, solution, rng, 8);
+    sor::local_search_improve(g, integral);
+    std::printf("integral congestion: %.0f\n", integral.congestion);
+  } else if (opt.integral) {
+    std::printf("(--integral skipped: demand is not {0,1})\n");
+  }
+
+  if (!opt.dot_path.empty()) {
+    std::ofstream out(opt.dot_path);
+    sor::io::write_dot(out, g, &solution.edge_load);
+    std::printf("wrote %s (loads as penwidth)\n", opt.dot_path.c_str());
+  }
+  return 0;
+}

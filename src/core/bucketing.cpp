@@ -1,0 +1,63 @@
+#include "core/bucketing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/maxflow.h"
+
+namespace sor {
+
+CombinedRouting combine_routings(
+    const Graph& g, const std::vector<std::vector<double>>& loads) {
+  CombinedRouting combined;
+  combined.parts = static_cast<int>(loads.size());
+  combined.edge_load.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const auto& load : loads) {
+    assert(static_cast<int>(load.size()) == g.num_edges());
+    for (int e = 0; e < g.num_edges(); ++e) {
+      combined.edge_load[static_cast<std::size_t>(e)] +=
+          load[static_cast<std::size_t>(e)];
+    }
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    combined.congestion =
+        std::max(combined.congestion,
+                 combined.edge_load[static_cast<std::size_t>(e)] /
+                     g.edge(e).capacity);
+  }
+  return combined;
+}
+
+BucketedRoutingResult route_via_buckets(const Graph& g, const PathSystem& ps,
+                                        const Demand& d, int alpha,
+                                        const MinCongestionOptions& options) {
+  BucketedRoutingResult result;
+  result.edge_load.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+  if (d.empty()) return result;
+
+  // Cache cut values per pair (the Lemma 5.9 normalizer alpha + cut).
+  auto scale = [&](int s, int t) {
+    return static_cast<double>(alpha + cut_value(g, s, t));
+  };
+  auto buckets = dyadic_buckets(d, scale);
+  std::sort(buckets.begin(), buckets.end(),
+            [](const DemandBucket& a, const DemandBucket& b) {
+              return a.exponent < b.exponent;
+            });
+
+  std::vector<std::vector<double>> loads;
+  for (const DemandBucket& bucket : buckets) {
+    const auto routed = route_fractional(g, ps, bucket.demand, options);
+    result.max_bucket_congestion =
+        std::max(result.max_bucket_congestion, routed.congestion);
+    loads.push_back(routed.edge_load);
+  }
+  const CombinedRouting combined = combine_routings(g, loads);
+  result.congestion = combined.congestion;
+  result.buckets_used = combined.parts;
+  result.edge_load = combined.edge_load;
+  return result;
+}
+
+}  // namespace sor

@@ -1,0 +1,47 @@
+// Completion-time (congestion + dilation) competitive semi-oblivious
+// routing (Section 7, Lemmas 2.8 / 2.9).
+//
+// Construction: union the alpha-samples of hop-constrained oblivious
+// routings at geometrically growing hop scales h_1 < h_2 < ... (the paper
+// uses h_i = h_{i-1} * log n); at routing time, try each scale as a dilation
+// cap, route min-congestion over the candidates within the cap, and keep the
+// best congestion + dilation value.
+#pragma once
+
+#include <memory>
+
+#include "core/demand.h"
+#include "core/path_system.h"
+#include "core/semi_oblivious.h"
+#include "graph/shortest_path.h"
+
+namespace sor {
+
+/// Geometric hop scales 1, ceil(factor), ceil(factor^2), ... capped at the
+/// number of vertices (deduplicated, increasing).
+std::vector<int> geometric_hop_scales(int n, double factor);
+
+/// Multi-scale path system: for each hop scale h, an alpha-sample of the
+/// hop-constrained oblivious routing with bound h (all sharing one BFS
+/// sampler). Sparsity is alpha * |scales| (the paper's alpha * O(log n)).
+PathSystem sample_multi_scale_path_system(
+    const Graph& g, int alpha, const std::vector<int>& scales,
+    const std::vector<std::pair<int, int>>& pairs, Rng& rng);
+
+struct CompletionTimeSolution {
+  double congestion = 0.0;
+  int dilation = 0;          ///< max hops among used paths
+  double objective = 0.0;    ///< congestion + dilation
+  int chosen_cap = 0;        ///< the dilation cap that won
+  SemiObliviousSolution routing;
+};
+
+/// Routes `d` over `ps` minimizing congestion + dilation: sweeps dilation
+/// caps (the hop counts present in `ps` plus `extra_caps`), restricts the
+/// candidates, solves min-congestion, and returns the best sum. Every
+/// support pair must retain >= 1 candidate at the largest cap.
+CompletionTimeSolution route_completion_time(
+    const Graph& g, const PathSystem& ps, const Demand& d,
+    const MinCongestionOptions& options = {});
+
+}  // namespace sor

@@ -1,0 +1,188 @@
+#include "core/demand.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sor {
+
+void Demand::set(int s, int t, double amount) {
+  assert(s != t);
+  assert(amount >= 0.0);
+  if (amount == 0.0) {
+    values_.erase({s, t});
+  } else {
+    values_[{s, t}] = amount;
+  }
+}
+
+void Demand::add(int s, int t, double amount) {
+  assert(s != t);
+  assert(amount >= 0.0);
+  if (amount == 0.0) return;
+  values_[{s, t}] += amount;
+}
+
+double Demand::at(int s, int t) const {
+  auto it = values_.find({s, t});
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+double Demand::size() const {
+  double total = 0.0;
+  for (const auto& [pair, value] : values_) total += value;
+  return total;
+}
+
+bool Demand::is_zero_one() const {
+  for (const auto& [pair, value] : values_) {
+    if (value != 1.0) return false;
+  }
+  return true;
+}
+
+std::vector<Commodity> Demand::commodities() const {
+  std::vector<Commodity> out;
+  out.reserve(values_.size());
+  for (const auto& [pair, value] : values_) {
+    out.push_back(Commodity{pair.first, pair.second, value});
+  }
+  return out;
+}
+
+Demand Demand::minus(const Demand& d1, const Demand& d2) {
+  Demand out;
+  for (const auto& [pair, value] : d1.entries()) {
+    const double rest = value - d2.at(pair.first, pair.second);
+    if (rest > 0.0) out.set(pair.first, pair.second, rest);
+  }
+  return out;
+}
+
+namespace gen {
+
+Demand random_permutation_demand(int n, Rng& rng) {
+  Demand d;
+  const std::vector<int> perm = rng.permutation(n);
+  for (int s = 0; s < n; ++s) {
+    const int t = perm[static_cast<std::size_t>(s)];
+    if (s != t) d.set(s, t, 1.0);
+  }
+  return d;
+}
+
+Demand random_pairs_demand(int n, int k, Rng& rng, double amount) {
+  assert(n >= 2);
+  Demand d;
+  int added = 0;
+  int guard = 0;
+  while (added < k && guard < 100 * k + 1000) {
+    ++guard;
+    const int s = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    const int t = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    if (s == t || d.at(s, t) > 0.0) continue;
+    d.set(s, t, amount);
+    ++added;
+  }
+  return d;
+}
+
+Demand bit_reversal_demand(int dim) {
+  Demand d;
+  const int n = 1 << dim;
+  for (int s = 0; s < n; ++s) {
+    int t = 0;
+    for (int b = 0; b < dim; ++b) {
+      if (s & (1 << b)) t |= 1 << (dim - 1 - b);
+    }
+    if (s != t) d.set(s, t, 1.0);
+  }
+  return d;
+}
+
+Demand transpose_demand(int dim) {
+  assert(dim % 2 == 0);
+  Demand d;
+  const int n = 1 << dim;
+  const int half = dim / 2;
+  const int mask = (1 << half) - 1;
+  for (int s = 0; s < n; ++s) {
+    const int lo = s & mask;
+    const int hi = s >> half;
+    const int t = (lo << half) | hi;
+    if (s != t) d.set(s, t, 1.0);
+  }
+  return d;
+}
+
+Demand gravity_demand(const Graph& g, double total, int max_pairs) {
+  const int n = g.num_vertices();
+  std::vector<double> weight(static_cast<std::size_t>(n), 0.0);
+  double sum = 0.0;
+  for (int v = 0; v < n; ++v) {
+    weight[static_cast<std::size_t>(v)] = static_cast<double>(g.degree(v));
+    sum += weight[static_cast<std::size_t>(v)];
+  }
+  assert(sum > 0.0);
+
+  struct Entry {
+    double value;
+    int s;
+    int t;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const double v = total * weight[static_cast<std::size_t>(s)] *
+                       weight[static_cast<std::size_t>(t)] / (sum * sum);
+      if (v > 0.0) entries.push_back(Entry{v, s, t});
+    }
+  }
+  if (max_pairs > 0 && static_cast<int>(entries.size()) > max_pairs) {
+    std::partial_sort(entries.begin(), entries.begin() + max_pairs,
+                      entries.end(), [](const Entry& a, const Entry& b) {
+                        if (a.value != b.value) return a.value > b.value;
+                        return std::pair(a.s, a.t) < std::pair(b.s, b.t);
+                      });
+    entries.resize(static_cast<std::size_t>(max_pairs));
+  }
+  Demand d;
+  for (const Entry& e : entries) d.set(e.s, e.t, e.value);
+  return d;
+}
+
+Demand hotspot_demand(int n, int hotspots, int fanin, double amount,
+                      Rng& rng) {
+  assert(n >= 2 && hotspots >= 1 && fanin >= 1 && fanin < n);
+  Demand d;
+  const std::vector<int> order = rng.permutation(n);
+  for (int h = 0; h < hotspots; ++h) {
+    const int sink = order[static_cast<std::size_t>(h % n)];
+    int added = 0;
+    int guard = 0;
+    while (added < fanin && guard < 50 * fanin + 200) {
+      ++guard;
+      const int src =
+          static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+      if (src == sink || d.at(src, sink) > 0.0) continue;
+      d.set(src, sink, amount);
+      ++added;
+    }
+  }
+  return d;
+}
+
+Demand stride_demand(int n, int stride) {
+  assert(n >= 2 && stride > 0 && stride < n);
+  Demand d;
+  for (int s = 0; s < n; ++s) {
+    const int t = (s + stride) % n;
+    if (s != t) d.set(s, t, 1.0);
+  }
+  return d;
+}
+
+}  // namespace gen
+
+}  // namespace sor

@@ -1,0 +1,101 @@
+// Demands (Definition 2.2): sparse nonnegative functions on vertex pairs,
+// plus the demand generators used by the experiments.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "lp/min_congestion.h"
+#include "util/rng.h"
+
+namespace sor {
+
+/// A demand d : V x V -> R>=0 with d(v, v) = 0. Iteration order over the
+/// support is deterministic (lexicographic by (s, t)).
+class Demand {
+ public:
+  Demand() = default;
+
+  /// Sets d(s, t) = amount (amount = 0 erases). Requires s != t, amount>=0.
+  void set(int s, int t, double amount);
+
+  /// Adds to d(s, t).
+  void add(int s, int t, double amount);
+
+  double at(int s, int t) const;
+
+  /// siz(d) = sum of all demand values.
+  double size() const;
+
+  /// |supp(d)|.
+  std::size_t support_size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// True iff every value is in {0, 1}.
+  bool is_zero_one() const;
+
+  /// Support as (pair -> value), deterministic order.
+  const std::map<std::pair<int, int>, double>& entries() const {
+    return values_;
+  }
+
+  /// Conversion for the LP solvers.
+  std::vector<Commodity> commodities() const;
+
+  /// The sub-demand restricted to pairs accepted by `keep`.
+  template <typename Predicate>
+  Demand filtered(Predicate&& keep) const {
+    Demand out;
+    for (const auto& [pair, value] : values_) {
+      if (keep(pair.first, pair.second, value)) {
+        out.set(pair.first, pair.second, value);
+      }
+    }
+    return out;
+  }
+
+  /// d1 - d2 clamped at 0 per pair.
+  static Demand minus(const Demand& d1, const Demand& d2);
+
+ private:
+  std::map<std::pair<int, int>, double> values_;
+};
+
+namespace gen {
+
+/// A uniformly random permutation demand on n vertices (fixed points give
+/// no demand, so the size is <= n).
+Demand random_permutation_demand(int n, Rng& rng);
+
+/// k uniformly random distinct ordered pairs with the given amount each.
+Demand random_pairs_demand(int n, int k, Rng& rng, double amount = 1.0);
+
+/// Bit-reversal permutation demand on the dim-hypercube: s -> reverse of
+/// s's bit string. The classic adversarial input for deterministic
+/// oblivious routing [KKT91].
+Demand bit_reversal_demand(int dim);
+
+/// Transpose permutation on the dim-hypercube (dim even): swap the low and
+/// high halves of the bit string.
+Demand transpose_demand(int dim);
+
+/// Gravity-model traffic matrix (standard in traffic engineering): weight
+/// w_v proportional to degree, d(s,t) = total * w_s * w_t / W^2, keeping
+/// only the `max_pairs` largest entries if positive.
+Demand gravity_demand(const Graph& g, double total, int max_pairs = 0);
+
+/// Hotspot traffic: `hotspots` random sinks each receive `amount` from
+/// `fanin` random distinct sources (incast — the classic TE stress).
+Demand hotspot_demand(int n, int hotspots, int fanin, double amount,
+                      Rng& rng);
+
+/// Stride permutation: s -> (s + stride) mod n. A structured permutation
+/// (bad for axis-aligned deterministic routings on tori). Requires
+/// gcd-independent stride in (0, n).
+Demand stride_demand(int n, int stride);
+
+}  // namespace gen
+
+}  // namespace sor

@@ -1,0 +1,132 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "graph/matching.h"
+
+namespace sor {
+namespace {
+
+/// Canonical cover f(s, t): for each candidate path, its first middle
+/// vertex; padded with the smallest-index unused middles to exactly `alpha`
+/// entries, sorted. (Padding keeps the pigeonhole grouping well-defined, as
+/// in the paper where f(s,t) is an arbitrary size-alpha superset.)
+std::vector<int> cover_set(const gen::GadgetLayout& layout,
+                           const std::vector<Path>& candidates, int alpha) {
+  std::vector<int> cover;
+  auto is_middle = [&](int v) {
+    return v >= layout.middle(0) && v < layout.middle(0) + layout.k;
+  };
+  for (const Path& p : candidates) {
+    for (int v : p) {
+      if (is_middle(v)) {
+        if (std::find(cover.begin(), cover.end(), v) == cover.end()) {
+          cover.push_back(v);
+        }
+        break;  // first middle vertex on the path covers it
+      }
+    }
+  }
+  // Pad deterministically to exactly alpha middles (possible when k>=alpha).
+  for (int i = 0; i < layout.k && static_cast<int>(cover.size()) < alpha; ++i) {
+    const int mid = layout.middle(i);
+    if (std::find(cover.begin(), cover.end(), mid) == cover.end()) {
+      cover.push_back(mid);
+    }
+  }
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+}  // namespace
+
+AdversaryResult find_adversarial_demand(const Graph& gadget,
+                                        const gen::GadgetLayout& layout,
+                                        const PathSystem& ps, int alpha,
+                                        int target_k) {
+  (void)gadget;
+  assert(alpha >= 1);
+  const int n = layout.n;
+
+  // Step 1+2a: per left leaf s, the most popular cover f(s) over right
+  // leaves t, and the t's realizing it.
+  std::map<std::vector<int>, std::vector<int>> by_fs;  // f(s) -> left leaves
+  std::map<std::pair<int, std::vector<int>>, std::vector<int>> ts_for;
+  for (int i = 0; i < n; ++i) {
+    const int s = layout.left_leaf(i);
+    std::map<std::vector<int>, std::vector<int>> counter;  // f(s,t) -> t list
+    for (int j = 0; j < n; ++j) {
+      const int t = layout.right_leaf(j);
+      const auto& candidates = ps.paths(s, t);
+      if (candidates.empty()) continue;
+      counter[cover_set(layout, candidates, alpha)].push_back(t);
+    }
+    if (counter.empty()) continue;
+    auto best = counter.begin();
+    for (auto it = counter.begin(); it != counter.end(); ++it) {
+      if (it->second.size() > best->second.size()) best = it;
+    }
+    by_fs[best->first].push_back(s);
+    ts_for[{s, best->first}] = best->second;
+  }
+
+  AdversaryResult result;
+  if (by_fs.empty()) return result;
+
+  // Step 2b: globally most popular cover S'.
+  auto best_group = by_fs.begin();
+  for (auto it = by_fs.begin(); it != by_fs.end(); ++it) {
+    if (it->second.size() > best_group->second.size()) best_group = it;
+  }
+  const std::vector<int>& s_prime = best_group->first;
+  std::vector<int> left = best_group->second;
+  if (static_cast<int>(left.size()) > target_k) {
+    left.resize(static_cast<std::size_t>(target_k));
+  }
+
+  // Step 3: Hall matching between the chosen left leaves and right leaves
+  // with f(s, t) = S'.
+  std::map<int, int> right_index;
+  std::vector<int> right_vertices;
+  std::vector<std::vector<int>> adjacency(left.size());
+  for (std::size_t li = 0; li < left.size(); ++li) {
+    const auto& ts = ts_for[{left[li], s_prime}];
+    for (int t : ts) {
+      auto [it, inserted] =
+          right_index.try_emplace(t, static_cast<int>(right_vertices.size()));
+      if (inserted) right_vertices.push_back(t);
+      adjacency[li].push_back(it->second);
+    }
+  }
+  const auto match =
+      hopcroft_karp(adjacency, static_cast<int>(right_vertices.size()));
+
+  for (std::size_t li = 0; li < left.size(); ++li) {
+    if (match[li] < 0) continue;
+    const int t = right_vertices[static_cast<std::size_t>(match[li])];
+    result.demand.set(left[li], t, 1.0);
+    ++result.matching_size;
+  }
+  result.middle_set = s_prime;
+  if (!result.middle_set.empty()) {
+    result.congestion_lower_bound =
+        static_cast<double>(result.matching_size) /
+        static_cast<double>(result.middle_set.size());
+  }
+  return result;
+}
+
+double gadget_optimal_congestion(const gen::GadgetLayout& layout,
+                                 const AdversaryResult& adversary) {
+  // Each matched pair can be routed s -> left center -> its own middle ->
+  // right center -> t. With matching_size <= k distinct middles exist, so
+  // the star edges carry 1 unit each and the middle edges 1 unit each.
+  return adversary.matching_size <= layout.k && adversary.matching_size > 0
+             ? 1.0
+             : static_cast<double>(adversary.matching_size) /
+                   std::max(1, layout.k);
+}
+
+}  // namespace sor

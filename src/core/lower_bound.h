@@ -1,0 +1,48 @@
+// The lower-bound adversary of Section 8 (Lemma 8.1), executable.
+//
+// Given ANY (alpha-1+cut)-sparse path system on the gadget C(n, k), the
+// adversary constructs a permutation demand on which the path system cannot
+// beat congestion k/alpha, while the offline optimum routes it with
+// congestion 1. The construction is the paper's double pigeonhole + Hall
+// matching argument:
+//   1. every left-leaf/right-leaf pair's <= alpha candidate paths are
+//      covered by a set f(s,t) of alpha middle vertices;
+//   2. pigeonhole a popular set f(s) per left leaf, then a globally popular
+//      set S';
+//   3. Hall-match k left leaves to k right leaves all covered by S'.
+#pragma once
+
+#include "core/demand.h"
+#include "core/path_system.h"
+#include "graph/generators.h"
+
+namespace sor {
+
+struct AdversaryResult {
+  /// The adversarial permutation demand (matched leaf pairs, value 1).
+  Demand demand;
+  /// The alpha middle vertices S' every candidate path must cross.
+  std::vector<int> middle_set;
+  /// Size of the matching found (== demand support size).
+  int matching_size = 0;
+  /// Guaranteed congestion lower bound for ANY routing of `demand` on the
+  /// path system: matching_size / |middle_set| (the optimum is 1).
+  double congestion_lower_bound = 0.0;
+};
+
+/// Runs the Lemma 8.1 adversary against `ps` on the gadget described by
+/// `layout`. `alpha` is the cover size (the path system should satisfy
+/// |P(s,t)| <= alpha on left-leaf -> right-leaf pairs). `target_k` is the
+/// matching size sought (the paper's k = floor(n^(1/2 alpha))).
+AdversaryResult find_adversarial_demand(const Graph& gadget,
+                                        const gen::GadgetLayout& layout,
+                                        const PathSystem& ps, int alpha,
+                                        int target_k);
+
+/// The exact optimal integral congestion of the adversarial demand on the
+/// gadget (always 1: matched pairs route through distinct middles when
+/// matching_size <= k, via s -> left center -> middle_i -> right center -> t).
+double gadget_optimal_congestion(const gen::GadgetLayout& layout,
+                                 const AdversaryResult& adversary);
+
+}  // namespace sor

@@ -1,0 +1,105 @@
+#include "core/path_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/maxflow.h"
+
+namespace sor {
+
+void PathSystem::add_path(int s, int t, Path path) {
+  assert(s != t);
+  assert(!path.empty() && path.front() == s && path.back() == t);
+  paths_[{s, t}].push_back(std::move(path));
+}
+
+const std::vector<Path>& PathSystem::paths(int s, int t) const {
+  auto it = paths_.find({s, t});
+  return it == paths_.end() ? empty_ : it->second;
+}
+
+bool PathSystem::has_pair(int s, int t) const {
+  return paths_.find({s, t}) != paths_.end();
+}
+
+int PathSystem::sparsity() const {
+  std::size_t best = 0;
+  for (const auto& [pair, list] : paths_) best = std::max(best, list.size());
+  return static_cast<int>(best);
+}
+
+std::size_t PathSystem::total_paths() const {
+  std::size_t total = 0;
+  for (const auto& [pair, list] : paths_) total += list.size();
+  return total;
+}
+
+void PathSystem::merge(const PathSystem& other) {
+  assert(n_ == 0 || other.num_vertices() == 0 || n_ == other.num_vertices());
+  for (const auto& [pair, list] : other.entries()) {
+    auto& mine = paths_[pair];
+    mine.insert(mine.end(), list.begin(), list.end());
+  }
+}
+
+PathSystem sample_path_system(const ObliviousRouting& routing, int alpha,
+                              const std::vector<std::pair<int, int>>& pairs,
+                              Rng& rng) {
+  assert(alpha >= 1);
+  PathSystem ps(routing.graph().num_vertices());
+  for (const auto& [s, t] : pairs) {
+    if (s == t) continue;
+    for (int i = 0; i < alpha; ++i) {
+      ps.add_path(s, t, routing.sample_path(s, t, rng));
+    }
+  }
+  return ps;
+}
+
+PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
+                                        int alpha, Rng& rng) {
+  const int n = routing.graph().num_vertices();
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1));
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t < n; ++t) {
+      if (s != t) pairs.emplace_back(s, t);
+    }
+  }
+  return sample_path_system(routing, alpha, pairs, rng);
+}
+
+PathSystem sample_path_system_with_cut(
+    const ObliviousRouting& routing, int alpha,
+    const std::vector<std::pair<int, int>>& pairs, Rng& rng) {
+  assert(alpha >= 1);
+  const Graph& g = routing.graph();
+  PathSystem ps(g.num_vertices());
+  for (const auto& [s, t] : pairs) {
+    if (s == t) continue;
+    const int count = alpha + cut_value(g, s, t);
+    for (int i = 0; i < count; ++i) {
+      ps.add_path(s, t, routing.sample_path(s, t, rng));
+    }
+  }
+  return ps;
+}
+
+std::vector<std::pair<int, int>> support_pairs(const Demand& d) {
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(d.support_size());
+  for (const auto& [pair, value] : d.entries()) pairs.push_back(pair);
+  return pairs;
+}
+
+Demand special_demand(const Graph& g, int alpha,
+                      const std::vector<std::pair<int, int>>& pairs) {
+  Demand d;
+  for (const auto& [s, t] : pairs) {
+    if (s == t) continue;
+    d.set(s, t, static_cast<double>(alpha + cut_value(g, s, t)));
+  }
+  return d;
+}
+
+}  // namespace sor

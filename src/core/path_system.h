@@ -1,0 +1,87 @@
+// Path systems (Definition 2.1) and the paper's sampling constructions
+// (Definition 5.2): alpha-samples and (alpha + cut_G)-samples of an
+// oblivious routing.
+//
+// A path system is THE semi-oblivious routing object: the candidate paths
+// are fixed obliviously (Stage 2); route weights are chosen adaptively per
+// demand by core/semi_oblivious.h (Stage 4).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/demand.h"
+#include "graph/graph.h"
+#include "oblivious/routing.h"
+#include "util/rng.h"
+
+namespace sor {
+
+/// A collection P(s, t) of candidate simple (s, t)-paths per vertex pair.
+/// Multiplicities are kept (sampling is with replacement, Definition 5.2);
+/// `sparsity()` counts paths with multiplicity, matching |P(s, t)| <= alpha.
+class PathSystem {
+ public:
+  PathSystem() = default;
+  explicit PathSystem(int num_vertices) : n_(num_vertices) {}
+
+  int num_vertices() const { return n_; }
+
+  /// Appends a candidate (s, t)-path. The path must run from s to t.
+  void add_path(int s, int t, Path path);
+
+  /// Candidate paths for a pair (empty vector if none registered).
+  const std::vector<Path>& paths(int s, int t) const;
+
+  bool has_pair(int s, int t) const;
+
+  /// max_{(s,t)} |P(s, t)| (with multiplicity).
+  int sparsity() const;
+
+  /// Total number of stored paths.
+  std::size_t total_paths() const;
+
+  /// Number of pairs with at least one path.
+  std::size_t num_pairs() const { return paths_.size(); }
+
+  /// Deterministic iteration over (pair -> paths).
+  const std::map<std::pair<int, int>, std::vector<Path>>& entries() const {
+    return paths_;
+  }
+
+  /// Merges another path system into this one (pairwise union of path
+  /// lists; used by the multi-scale completion-time construction, Lemma 2.8).
+  void merge(const PathSystem& other);
+
+ private:
+  int n_ = 0;
+  std::map<std::pair<int, int>, std::vector<Path>> paths_;
+  std::vector<Path> empty_;
+};
+
+/// alpha-sample of an oblivious routing R over the given pairs: for each
+/// pair, `alpha` independent draws from R(s, t) (with replacement).
+PathSystem sample_path_system(const ObliviousRouting& routing, int alpha,
+                              const std::vector<std::pair<int, int>>& pairs,
+                              Rng& rng);
+
+/// alpha-sample over ALL ordered vertex pairs (quadratic; small graphs).
+PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
+                                        int alpha, Rng& rng);
+
+/// (alpha + cut_G)-sample (Definition 5.2): alpha + cut_G(s, t) draws per
+/// pair. Min cuts are computed with Dinic on the host graph.
+PathSystem sample_path_system_with_cut(
+    const ObliviousRouting& routing, int alpha,
+    const std::vector<std::pair<int, int>>& pairs, Rng& rng);
+
+/// The support pairs of a demand (convenience for the samplers above).
+std::vector<std::pair<int, int>> support_pairs(const Demand& d);
+
+/// An alpha-special demand (Definition 5.5) supported on `pairs`:
+/// d(s, t) = alpha + cut_G(s, t) on every listed pair.
+Demand special_demand(const Graph& g, int alpha,
+                      const std::vector<std::pair<int, int>>& pairs);
+
+}  // namespace sor

@@ -1,0 +1,191 @@
+#include "core/rounding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sor {
+namespace {
+
+std::vector<double> loads_of_choices(const Graph& g,
+                                     const IntegralSolution& solution) {
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t j = 0; j < solution.choices.size(); ++j) {
+    for (int idx : solution.choices[j]) {
+      for (int e : path_edge_ids(g, solution.paths[j][static_cast<std::size_t>(
+                                      idx)])) {
+        load[static_cast<std::size_t>(e)] += 1.0;
+      }
+    }
+  }
+  return load;
+}
+
+double max_congestion(const Graph& g, const std::vector<double>& load) {
+  double congestion = 0.0;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    congestion = std::max(congestion,
+                          load[static_cast<std::size_t>(e)] / g.edge(e).capacity);
+  }
+  return congestion;
+}
+
+}  // namespace
+
+double integral_congestion(const Graph& g, IntegralSolution& solution) {
+  solution.edge_load = loads_of_choices(g, solution);
+  solution.congestion = max_congestion(g, solution.edge_load);
+  return solution.congestion;
+}
+
+IntegralSolution round_randomized(const Graph& g,
+                                  const SemiObliviousSolution& fractional,
+                                  Rng& rng, int trials) {
+  assert(trials >= 1);
+  IntegralSolution best;
+  best.commodities = fractional.commodities;
+  best.paths = fractional.paths;
+  best.congestion = std::numeric_limits<double>::infinity();
+
+  for (int trial = 0; trial < trials; ++trial) {
+    IntegralSolution candidate;
+    candidate.commodities = fractional.commodities;
+    candidate.paths = fractional.paths;
+    candidate.choices.resize(fractional.commodities.size());
+    for (std::size_t j = 0; j < fractional.commodities.size(); ++j) {
+      const int units = static_cast<int>(
+          std::llround(fractional.commodities[j].amount));
+      assert(std::abs(fractional.commodities[j].amount -
+                      static_cast<double>(units)) < 1e-9 &&
+             "randomized rounding requires an integral demand");
+      candidate.choices[j].reserve(static_cast<std::size_t>(units));
+      for (int u = 0; u < units; ++u) {
+        candidate.choices[j].push_back(
+            rng.weighted_index(fractional.weights[j]));
+      }
+    }
+    integral_congestion(g, candidate);
+    if (candidate.congestion < best.congestion) best = std::move(candidate);
+  }
+  return best;
+}
+
+namespace {
+
+struct BranchState {
+  const Graph* g;
+  const std::vector<std::vector<Path>>* paths;
+  std::vector<std::pair<std::size_t, int>> units;  // (commodity, unit idx)
+  std::vector<double> load;
+  double best;
+  long work;
+  long work_limit;
+};
+
+void branch(BranchState& st, std::size_t unit_index, double current_max) {
+  if (current_max >= st.best) return;  // cannot improve
+  if (st.work++ > st.work_limit) return;
+  if (unit_index == st.units.size()) {
+    st.best = current_max;
+    return;
+  }
+  const std::size_t j = st.units[unit_index].first;
+  for (const Path& p : (*st.paths)[j]) {
+    const auto edges = path_edge_ids(*st.g, p);
+    double new_max = current_max;
+    for (int e : edges) {
+      st.load[static_cast<std::size_t>(e)] += 1.0;
+      new_max = std::max(new_max, st.load[static_cast<std::size_t>(e)] /
+                                      st.g->edge(e).capacity);
+    }
+    branch(st, unit_index + 1, new_max);
+    for (int e : edges) st.load[static_cast<std::size_t>(e)] -= 1.0;
+  }
+}
+
+}  // namespace
+
+double exact_integral_congestion(const Graph& g,
+                                 const std::vector<Commodity>& commodities,
+                                 const std::vector<std::vector<Path>>& paths,
+                                 long work_limit) {
+  BranchState st;
+  st.g = &g;
+  st.paths = &paths;
+  st.load.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+  st.best = std::numeric_limits<double>::infinity();
+  st.work = 0;
+  st.work_limit = work_limit;
+  for (std::size_t j = 0; j < commodities.size(); ++j) {
+    const int units = static_cast<int>(std::llround(commodities[j].amount));
+    assert(units == 0 || !paths[j].empty());
+    for (int u = 0; u < units; ++u) st.units.emplace_back(j, u);
+  }
+  if (st.units.empty()) return 0.0;
+  branch(st, 0, 0.0);
+  return st.best;
+}
+
+void local_search_improve(const Graph& g, IntegralSolution& solution,
+                          int max_moves) {
+  integral_congestion(g, solution);
+  auto& load = solution.edge_load;
+
+  for (int move = 0; move < max_moves; ++move) {
+    // Find the most congested edge.
+    int hot = -1;
+    double hot_cong = 0.0;
+    for (int e = 0; e < g.num_edges(); ++e) {
+      const double c = load[static_cast<std::size_t>(e)] / g.edge(e).capacity;
+      if (c > hot_cong) {
+        hot_cong = c;
+        hot = e;
+      }
+    }
+    if (hot < 0) return;
+
+    // Try to reroute one unit crossing `hot` to an alternative whose
+    // bottleneck (after the move) is strictly below hot_cong.
+    bool improved = false;
+    for (std::size_t j = 0; j < solution.choices.size() && !improved; ++j) {
+      for (std::size_t u = 0; u < solution.choices[j].size() && !improved;
+           ++u) {
+        const int current = solution.choices[j][u];
+        const auto current_edges = path_edge_ids(
+            g, solution.paths[j][static_cast<std::size_t>(current)]);
+        if (std::find(current_edges.begin(), current_edges.end(), hot) ==
+            current_edges.end()) {
+          continue;
+        }
+        for (std::size_t alt = 0; alt < solution.paths[j].size(); ++alt) {
+          if (static_cast<int>(alt) == current) continue;
+          const auto alt_edges =
+              path_edge_ids(g, solution.paths[j][alt]);
+          // Congestion of alternative's edges if the unit moved there.
+          double alt_peak = 0.0;
+          for (int e : alt_edges) {
+            double l = load[static_cast<std::size_t>(e)] + 1.0;
+            // Discount edges shared with the current path (unit leaves them).
+            if (std::find(current_edges.begin(), current_edges.end(), e) !=
+                current_edges.end()) {
+              l -= 1.0;
+            }
+            alt_peak = std::max(alt_peak, l / g.edge(e).capacity);
+          }
+          if (alt_peak < hot_cong) {
+            for (int e : current_edges) load[static_cast<std::size_t>(e)] -= 1.0;
+            for (int e : alt_edges) load[static_cast<std::size_t>(e)] += 1.0;
+            solution.choices[j][u] = static_cast<int>(alt);
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  solution.congestion = max_congestion(g, load);
+}
+
+}  // namespace sor

@@ -1,0 +1,53 @@
+// Integral semi-oblivious routing (Section 6).
+//
+// The rounding lemma (Lemma 6.3) turns any fractional routing into an
+// integral one supported on the same paths with congestion at most
+// 2 * cong + 3 ln m, by sampling d(s,t) paths per pair proportionally to
+// the fractional weights. We implement exactly that (best of `trials`
+// draws, which is how the positive-probability argument is realized
+// computationally) plus a local-search polish pass.
+#pragma once
+
+#include "core/semi_oblivious.h"
+#include "util/rng.h"
+
+namespace sor {
+
+/// An integral routing: for commodity j with integer demand d_j, `choices[j]`
+/// holds d_j candidate-path indices (into `paths[j]`), one per unit.
+struct IntegralSolution {
+  std::vector<Commodity> commodities;
+  std::vector<std::vector<Path>> paths;
+  std::vector<std::vector<int>> choices;
+  std::vector<double> edge_load;
+  double congestion = 0.0;
+};
+
+/// Exact congestion of an integral assignment (recomputes edge loads).
+double integral_congestion(const Graph& g, IntegralSolution& solution);
+
+/// Lemma 6.3 randomized rounding: each demand unit independently picks a
+/// candidate proportional to the fractional weights; the best of `trials`
+/// independent roundings is returned. Requires an integral demand (amounts
+/// are rounded to nearest integers).
+IntegralSolution round_randomized(const Graph& g,
+                                  const SemiObliviousSolution& fractional,
+                                  Rng& rng, int trials = 8);
+
+/// Greedy local search: repeatedly move one unit off a maximum-congestion
+/// edge onto an alternative candidate if that strictly reduces the load
+/// profile. Terminates; improves the rounding in practice.
+void local_search_improve(const Graph& g, IntegralSolution& solution,
+                          int max_moves = 10000);
+
+/// Exact optimal integral congestion cong_Z(P, d) (Definition 6.1) by
+/// branch-and-bound over per-unit path choices. Exponential; intended for
+/// tiny instances (total units * candidates small) to validate rounding
+/// and local search. `work_limit` caps explored nodes; returns the best
+/// congestion found (optimal if the limit was not hit).
+double exact_integral_congestion(const Graph& g,
+                                 const std::vector<Commodity>& commodities,
+                                 const std::vector<std::vector<Path>>& paths,
+                                 long work_limit = 2000000);
+
+}  // namespace sor

@@ -1,0 +1,113 @@
+#include "core/semi_oblivious.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/shortest_path.h"
+
+namespace sor {
+namespace {
+
+SemiObliviousSolution assemble(const Graph& g,
+                               std::vector<Commodity> commodities,
+                               std::vector<std::vector<Path>> paths,
+                               CongestionResult result) {
+  SemiObliviousSolution solution;
+  solution.commodities = std::move(commodities);
+  solution.paths = std::move(paths);
+  solution.weights = std::move(result.path_weights);
+  solution.edge_load = std::move(result.edge_load);
+  solution.congestion = result.congestion;
+  solution.lower_bound = result.lower_bound;
+  solution.max_hops = 0;
+  for (std::size_t j = 0; j < solution.paths.size(); ++j) {
+    for (std::size_t i = 0; i < solution.paths[j].size(); ++i) {
+      if (solution.weights[j][i] > 1e-12) {
+        solution.max_hops =
+            std::max(solution.max_hops, hop_count(solution.paths[j][i]));
+      }
+    }
+  }
+  (void)g;
+  return solution;
+}
+
+std::vector<std::vector<Path>> gather_candidates(
+    const PathSystem& ps, const std::vector<Commodity>& commodities) {
+  std::vector<std::vector<Path>> paths;
+  paths.reserve(commodities.size());
+  for (const Commodity& c : commodities) {
+    const auto& list = ps.paths(c.s, c.t);
+    assert((c.amount <= 0.0 || !list.empty()) &&
+           "path system does not cover the demand support");
+    paths.push_back(list);
+  }
+  return paths;
+}
+
+}  // namespace
+
+SemiObliviousSolution route_fractional(const Graph& g, const PathSystem& ps,
+                                       const Demand& d,
+                                       const MinCongestionOptions& options) {
+  auto commodities = d.commodities();
+  auto paths = gather_candidates(ps, commodities);
+  auto result = min_congestion_over_paths(g, commodities, paths, options);
+  return assemble(g, std::move(commodities), std::move(paths),
+                  std::move(result));
+}
+
+SemiObliviousSolution route_fractional_exact(const Graph& g,
+                                             const PathSystem& ps,
+                                             const Demand& d) {
+  auto commodities = d.commodities();
+  auto paths = gather_candidates(ps, commodities);
+  auto result = min_congestion_over_paths_exact(g, commodities, paths);
+  return assemble(g, std::move(commodities), std::move(paths),
+                  std::move(result));
+}
+
+OptimalCongestion optimal_congestion(const Graph& g, const Demand& d,
+                                     const MinCongestionOptions& options) {
+  OptimalCongestion opt;
+  if (d.empty()) return opt;
+  const auto result = min_congestion_free(g, d.commodities(), options);
+  opt.upper = result.congestion;
+  opt.lower = result.lower_bound;
+  // opt >= siz(d) / total capacity (Lemma 5.16 generalized to capacities):
+  // every unit of demand crosses at least one edge.
+  const double trivial = d.size() / g.total_capacity();
+  opt.lower = std::max(opt.lower, trivial);
+  opt.upper = std::max(opt.upper, opt.lower);
+  return opt;
+}
+
+double competitive_ratio(const SemiObliviousSolution& solution,
+                         const OptimalCongestion& opt) {
+  assert(opt.value() > 0.0);
+  return solution.congestion / opt.value();
+}
+
+double distance_lower_bound(const Graph& g, const Demand& d) {
+  if (d.empty()) return 0.0;
+  std::vector<double> lengths(static_cast<std::size_t>(g.num_edges()));
+  double denominator = 0.0;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    lengths[static_cast<std::size_t>(e)] = 1.0 / g.edge(e).capacity;
+    denominator += 1.0;  // cap_e * w_e with w_e = 1/cap_e
+  }
+  // One Dijkstra per distinct source in the support.
+  double numerator = 0.0;
+  int current_source = -1;
+  std::vector<double> dist;
+  for (const auto& [pair, value] : d.entries()) {
+    if (pair.first != current_source) {
+      current_source = pair.first;
+      dist = dijkstra(g, current_source, lengths);
+    }
+    numerator += value * dist[static_cast<std::size_t>(pair.second)];
+  }
+  return numerator / denominator;
+}
+
+}  // namespace sor

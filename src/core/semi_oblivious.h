@@ -1,0 +1,65 @@
+// Stage 4 of the semi-oblivious pipeline (Definition 5.1): once the demand
+// is revealed, adaptively choose sending rates over the pre-installed
+// candidate paths to minimize the maximum edge congestion, and compare
+// against the offline optimum.
+#pragma once
+
+#include <optional>
+
+#include "core/demand.h"
+#include "core/path_system.h"
+#include "graph/graph.h"
+#include "lp/min_congestion.h"
+
+namespace sor {
+
+/// A fractional routing of a demand over a path system.
+struct SemiObliviousSolution {
+  std::vector<Commodity> commodities;           ///< demand support, in order
+  std::vector<std::vector<Path>> paths;         ///< candidates per commodity
+  std::vector<std::vector<double>> weights;     ///< rates per candidate
+  std::vector<double> edge_load;
+  double congestion = 0.0;     ///< exact cong of the returned weights
+  double lower_bound = 0.0;    ///< dual bound on cong_R(P, d)
+  int max_hops = 0;            ///< dilation of the support of the routing
+};
+
+/// Routes `d` over `ps` with the MWU engine. Every support pair of `d` must
+/// have at least one candidate path in `ps`.
+SemiObliviousSolution route_fractional(const Graph& g, const PathSystem& ps,
+                                       const Demand& d,
+                                       const MinCongestionOptions& options = {});
+
+/// Exact LP variant (small instances; used for validation).
+SemiObliviousSolution route_fractional_exact(const Graph& g,
+                                             const PathSystem& ps,
+                                             const Demand& d);
+
+/// Offline optimal congestion opt_{G,R}(d) with certificates:
+/// `upper` is the congestion of an explicit feasible fractional routing,
+/// `lower` an LP-duality bound, so lower <= opt <= upper.
+struct OptimalCongestion {
+  double upper = 0.0;
+  double lower = 0.0;
+  /// Conservative scalar to divide measured congestion by when reporting
+  /// competitive ratios (the max of lower and a trivial bound; > 0 whenever
+  /// the demand is nonempty).
+  double value() const { return lower > 0.0 ? lower : upper; }
+};
+
+OptimalCongestion optimal_congestion(const Graph& g, const Demand& d,
+                                     const MinCongestionOptions& options = {});
+
+/// Cheap distance-duality lower bound on opt_{G,R}(d) (no iteration):
+/// opt >= sum_j d_j * dist_w(s_j, t_j) / sum_e cap_e w_e with w_e = 1/cap_e.
+/// On unit capacities this is (sum_j d_j * hopdist(s_j,t_j)) / m. Used by
+/// the large-scale benches where the MWU optimum would dominate runtime.
+double distance_lower_bound(const Graph& g, const Demand& d);
+
+/// Competitive ratio of a semi-oblivious solution against the offline
+/// optimum (uses the optimum's lower certificate, so the reported ratio is
+/// an upper bound on the true ratio).
+double competitive_ratio(const SemiObliviousSolution& solution,
+                         const OptimalCongestion& opt);
+
+}  // namespace sor

@@ -1,0 +1,97 @@
+#include "graph/matching.h"
+
+#include <limits>
+
+namespace sor {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+struct HopcroftKarp {
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> match_left;   // left -> right or -1
+  std::vector<int> match_right;  // right -> left or -1
+  std::vector<int> level;
+
+  HopcroftKarp(const std::vector<std::vector<int>>& adjacency, int num_right)
+      : adj(adjacency),
+        match_left(adjacency.size(), -1),
+        match_right(static_cast<std::size_t>(num_right), -1),
+        level(adjacency.size(), kInf) {}
+
+  bool bfs() {
+    std::vector<int> frontier;
+    for (std::size_t l = 0; l < adj.size(); ++l) {
+      if (match_left[l] < 0) {
+        level[l] = 0;
+        frontier.push_back(static_cast<int>(l));
+      } else {
+        level[l] = kInf;
+      }
+    }
+    bool reachable_free = false;
+    std::vector<int> next;
+    int depth = 0;
+    while (!frontier.empty()) {
+      next.clear();
+      for (int l : frontier) {
+        for (int r : adj[static_cast<std::size_t>(l)]) {
+          const int l2 = match_right[static_cast<std::size_t>(r)];
+          if (l2 < 0) {
+            reachable_free = true;
+          } else if (level[static_cast<std::size_t>(l2)] == kInf) {
+            level[static_cast<std::size_t>(l2)] = depth + 1;
+            next.push_back(l2);
+          }
+        }
+      }
+      frontier.swap(next);
+      ++depth;
+    }
+    return reachable_free;
+  }
+
+  bool dfs(int l) {
+    for (int r : adj[static_cast<std::size_t>(l)]) {
+      const int l2 = match_right[static_cast<std::size_t>(r)];
+      if (l2 < 0 || (level[static_cast<std::size_t>(l2)] ==
+                         level[static_cast<std::size_t>(l)] + 1 &&
+                     dfs(l2))) {
+        match_left[static_cast<std::size_t>(l)] = r;
+        match_right[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    level[static_cast<std::size_t>(l)] = kInf;
+    return false;
+  }
+
+  void run() {
+    while (bfs()) {
+      for (std::size_t l = 0; l < adj.size(); ++l) {
+        if (match_left[l] < 0) dfs(static_cast<int>(l));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> hopcroft_karp(const std::vector<std::vector<int>>& adj,
+                               int num_right) {
+  HopcroftKarp solver(adj, num_right);
+  solver.run();
+  return solver.match_left;
+}
+
+int max_matching_size(const std::vector<std::vector<int>>& adj,
+                      int num_right) {
+  const auto match = hopcroft_karp(adj, num_right);
+  int size = 0;
+  for (int r : match) {
+    if (r >= 0) ++size;
+  }
+  return size;
+}
+
+}  // namespace sor

@@ -1,0 +1,23 @@
+// Hopcroft-Karp maximum bipartite matching.
+//
+// The lower-bound adversary (Lemma 8.1) needs a perfect matching between k
+// left-star leaves and k right-star leaves whose candidate paths all route
+// through the same alpha middle vertices; Hall's condition guarantees one
+// exists and Hopcroft-Karp finds it.
+#pragma once
+
+#include <vector>
+
+namespace sor {
+
+/// Maximum matching in a bipartite graph given as adjacency lists of the
+/// left side (`adj[l]` lists right-vertex ids in [0, num_right)).
+/// Returns match_of_left: for each left vertex its matched right vertex or
+/// -1. The matching size is the number of non-(-1) entries.
+std::vector<int> hopcroft_karp(const std::vector<std::vector<int>>& adj,
+                               int num_right);
+
+/// Size of the maximum matching (convenience).
+int max_matching_size(const std::vector<std::vector<int>>& adj, int num_right);
+
+}  // namespace sor

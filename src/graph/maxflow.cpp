@@ -1,0 +1,158 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sor {
+namespace {
+
+/// Dinic solver on a directed residual network. Undirected edges become a
+/// pair of arcs each with the full capacity (the standard reduction: the
+/// net flow across the edge is then at most the capacity).
+class Dinic {
+ public:
+  Dinic(const Graph& g, int s, int t) : n_(g.num_vertices()), s_(s), t_(t) {
+    head_.assign(static_cast<std::size_t>(n_), -1);
+    for (const Edge& e : g.edges()) {
+      add_arc(e.u, e.v, e.capacity);
+      add_arc(e.v, e.u, e.capacity);
+    }
+  }
+
+  double run() {
+    double total = 0.0;
+    while (build_levels()) {
+      iter_ = head_;
+      for (;;) {
+        const double pushed =
+            push(s_, std::numeric_limits<double>::infinity());
+        if (pushed <= 0.0) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+  /// After run(): vertices reachable from s in the residual network.
+  std::vector<char> source_side() const {
+    std::vector<char> seen(static_cast<std::size_t>(n_), 0);
+    std::vector<int> stack = {s_};
+    seen[static_cast<std::size_t>(s_)] = 1;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (int a = head_[static_cast<std::size_t>(v)]; a >= 0;
+           a = next_[static_cast<std::size_t>(a)]) {
+        if (residual_[static_cast<std::size_t>(a)] > kEps &&
+            !seen[static_cast<std::size_t>(to_[static_cast<std::size_t>(a)])]) {
+          seen[static_cast<std::size_t>(to_[static_cast<std::size_t>(a)])] = 1;
+          stack.push_back(to_[static_cast<std::size_t>(a)]);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  static constexpr double kEps = 1e-12;
+
+  void add_arc(int u, int v, double cap) {
+    // Forward arc.
+    to_.push_back(v);
+    residual_.push_back(cap);
+    next_.push_back(head_[static_cast<std::size_t>(u)]);
+    head_[static_cast<std::size_t>(u)] = static_cast<int>(to_.size()) - 1;
+    // Reverse arc (capacity 0; paired by id ^ 1).
+    to_.push_back(u);
+    residual_.push_back(0.0);
+    next_.push_back(head_[static_cast<std::size_t>(v)]);
+    head_[static_cast<std::size_t>(v)] = static_cast<int>(to_.size()) - 1;
+  }
+
+  bool build_levels() {
+    level_.assign(static_cast<std::size_t>(n_), -1);
+    level_[static_cast<std::size_t>(s_)] = 0;
+    std::vector<int> frontier = {s_};
+    std::vector<int> next_frontier;
+    while (!frontier.empty()) {
+      next_frontier.clear();
+      for (int v : frontier) {
+        for (int a = head_[static_cast<std::size_t>(v)]; a >= 0;
+             a = next_[static_cast<std::size_t>(a)]) {
+          const int w = to_[static_cast<std::size_t>(a)];
+          if (residual_[static_cast<std::size_t>(a)] > kEps &&
+              level_[static_cast<std::size_t>(w)] < 0) {
+            level_[static_cast<std::size_t>(w)] =
+                level_[static_cast<std::size_t>(v)] + 1;
+            next_frontier.push_back(w);
+          }
+        }
+      }
+      frontier.swap(next_frontier);
+    }
+    return level_[static_cast<std::size_t>(t_)] >= 0;
+  }
+
+  double push(int v, double limit) {
+    if (v == t_) return limit;
+    for (int& a = iter_[static_cast<std::size_t>(v)]; a >= 0;
+         a = next_[static_cast<std::size_t>(a)]) {
+      const int w = to_[static_cast<std::size_t>(a)];
+      if (residual_[static_cast<std::size_t>(a)] > kEps &&
+          level_[static_cast<std::size_t>(w)] ==
+              level_[static_cast<std::size_t>(v)] + 1) {
+        const double pushed =
+            push(w, std::min(limit, residual_[static_cast<std::size_t>(a)]));
+        if (pushed > 0.0) {
+          residual_[static_cast<std::size_t>(a)] -= pushed;
+          residual_[static_cast<std::size_t>(a ^ 1)] += pushed;
+          return pushed;
+        }
+      }
+    }
+    return 0.0;
+  }
+
+  int n_;
+  int s_;
+  int t_;
+  std::vector<int> head_;
+  std::vector<int> to_;
+  std::vector<int> next_;
+  std::vector<double> residual_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace
+
+double max_flow(const Graph& g, int s, int t) {
+  assert(s != t);
+  Dinic solver(g, s, t);
+  return solver.run();
+}
+
+double min_cut(const Graph& g, int s, int t, std::vector<char>* source_side) {
+  assert(s != t);
+  Dinic solver(g, s, t);
+  const double value = solver.run();
+  if (source_side) *source_side = solver.source_side();
+  return value;
+}
+
+int cut_value(const Graph& g, int s, int t) {
+  if (s == t) return 0;
+  return static_cast<int>(std::llround(max_flow(g, s, t)));
+}
+
+std::vector<int> cut_values(const Graph& g,
+                            const std::vector<std::pair<int, int>>& pairs) {
+  std::vector<int> out;
+  out.reserve(pairs.size());
+  for (const auto& [s, t] : pairs) out.push_back(cut_value(g, s, t));
+  return out;
+}
+
+}  // namespace sor

@@ -1,0 +1,31 @@
+// Dinic max-flow / min-cut on the undirected capacitated multigraph.
+//
+// cut_G(s, t) from the paper (Section 4) is the s-t min cut; on unit
+// capacities it equals the number of edge-disjoint s-t paths, which is what
+// the (alpha + cut_G)-sample (Definition 5.2) needs.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sor {
+
+/// Maximum s-t flow value. Each undirected edge may carry up to its capacity
+/// in either direction (standard undirected max-flow).
+double max_flow(const Graph& g, int s, int t);
+
+/// s-t min-cut value (== max flow). `source_side`, if non-null, receives the
+/// indicator of the source side of one minimum cut.
+double min_cut(const Graph& g, int s, int t,
+               std::vector<char>* source_side = nullptr);
+
+/// Integer min-cut for unit-capacity-style graphs; rounds min_cut to the
+/// nearest integer. This is the paper's cut_G(s, t); cut_G(v, v) = 0.
+int cut_value(const Graph& g, int s, int t);
+
+/// Computes cut_G(s, t) for all listed pairs (convenience for samplers).
+std::vector<int> cut_values(const Graph& g,
+                            const std::vector<std::pair<int, int>>& pairs);
+
+}  // namespace sor

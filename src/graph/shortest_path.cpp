@@ -1,0 +1,135 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace sor {
+
+std::vector<int> bfs_distances(const Graph& g, int source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()),
+                        kUnreachable);
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::vector<int> frontier = {source};
+  std::vector<int> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (int v : frontier) {
+      const int dv = dist[static_cast<std::size_t>(v)];
+      for (int e : g.incident(v)) {
+        const int w = g.edge(e).other(v);
+        if (dist[static_cast<std::size_t>(w)] == kUnreachable) {
+          dist[static_cast<std::size_t>(w)] = dv + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<std::vector<int>> all_pairs_hop_distances(const Graph& g) {
+  std::vector<std::vector<int>> dist;
+  dist.reserve(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    dist.push_back(bfs_distances(g, v));
+  }
+  return dist;
+}
+
+std::vector<double> dijkstra(const Graph& g, int source,
+                             const std::vector<double>& length,
+                             std::vector<int>* parent_edge) {
+  assert(static_cast<int>(length.size()) == g.num_edges());
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(g.num_vertices()), inf);
+  if (parent_edge) {
+    parent_edge->assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  }
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) continue;
+    for (int e : g.incident(v)) {
+      assert(length[static_cast<std::size_t>(e)] >= 0.0);
+      const int w = g.edge(e).other(v);
+      const double nd = d + length[static_cast<std::size_t>(e)];
+      if (nd < dist[static_cast<std::size_t>(w)]) {
+        dist[static_cast<std::size_t>(w)] = nd;
+        if (parent_edge) (*parent_edge)[static_cast<std::size_t>(w)] = e;
+        heap.emplace(nd, w);
+      }
+    }
+  }
+  return dist;
+}
+
+Path shortest_path(const Graph& g, int s, int t,
+                   const std::vector<double>& length) {
+  std::vector<int> parent_edge;
+  const auto dist = dijkstra(g, s, length, &parent_edge);
+  if (dist[static_cast<std::size_t>(t)] ==
+      std::numeric_limits<double>::infinity()) {
+    return {};
+  }
+  Path reversed = {t};
+  int v = t;
+  while (v != s) {
+    const int e = parent_edge[static_cast<std::size_t>(v)];
+    v = g.edge(e).other(v);
+    reversed.push_back(v);
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+Path shortest_path_hops(const Graph& g, int s, int t) {
+  std::vector<double> unit(static_cast<std::size_t>(g.num_edges()), 1.0);
+  return shortest_path(g, s, t, unit);
+}
+
+ShortestPathSampler::ShortestPathSampler(const Graph& g)
+    : g_(&g), dist_(all_pairs_hop_distances(g)) {}
+
+Path ShortestPathSampler::walk_back(int s, int t, Rng* rng) const {
+  const auto& ds = dist_[static_cast<std::size_t>(s)];
+  assert(ds[static_cast<std::size_t>(t)] != kUnreachable);
+  // Walk from t back towards s along tight edges, collecting vertices.
+  Path reversed = {t};
+  int v = t;
+  std::vector<int> choices;
+  while (v != s) {
+    choices.clear();
+    const int dv = ds[static_cast<std::size_t>(v)];
+    for (int e : g_->incident(v)) {
+      const int w = g_->edge(e).other(v);
+      if (ds[static_cast<std::size_t>(w)] == dv - 1) choices.push_back(w);
+    }
+    assert(!choices.empty());
+    int pick;
+    if (rng) {
+      pick = choices[static_cast<std::size_t>(rng->uniform_u64(choices.size()))];
+    } else {
+      pick = *std::min_element(choices.begin(), choices.end());
+    }
+    reversed.push_back(pick);
+    v = pick;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+Path ShortestPathSampler::sample(int s, int t, Rng& rng) const {
+  return walk_back(s, t, &rng);
+}
+
+Path ShortestPathSampler::deterministic(int s, int t) const {
+  return walk_back(s, t, nullptr);
+}
+
+}  // namespace sor

@@ -1,0 +1,65 @@
+// Shortest-path primitives: BFS (hop metric), Dijkstra (arbitrary positive
+// edge lengths), all-pairs hop distances, and uniformly random shortest
+// paths (the diversity primitive the oblivious routers build on).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace sor {
+
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// Hop distances from `source` to every vertex (kUnreachable if none).
+std::vector<int> bfs_distances(const Graph& g, int source);
+
+/// Hop distances between all vertex pairs; result[u][v]. O(n * m).
+std::vector<std::vector<int>> all_pairs_hop_distances(const Graph& g);
+
+/// Dijkstra from `source` with per-edge lengths (length[e] >= 0).
+/// Returns distances; `parent_edge`, if non-null, receives for each vertex
+/// the edge id used to reach it (-1 for source/unreachable).
+std::vector<double> dijkstra(const Graph& g, int source,
+                             const std::vector<double>& length,
+                             std::vector<int>* parent_edge = nullptr);
+
+/// One shortest s-t path under `length` (deterministic tie-breaking by edge
+/// id). Returns empty path if t is unreachable.
+Path shortest_path(const Graph& g, int s, int t,
+                   const std::vector<double>& length);
+
+/// Shortest s-t path under the hop metric (deterministic).
+Path shortest_path_hops(const Graph& g, int s, int t);
+
+/// Precomputed all-sources BFS structure supporting uniformly random
+/// shortest-path sampling: sample(s, t, rng) returns a path chosen uniformly
+/// at random among edges-to-predecessor choices (each step picks uniformly
+/// among tight predecessors), giving a diverse shortest-path distribution.
+class ShortestPathSampler {
+ public:
+  explicit ShortestPathSampler(const Graph& g);
+
+  int hop_distance(int s, int t) const {
+    return dist_[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)];
+  }
+
+  /// Random shortest path from s to t. Requires reachability.
+  Path sample(int s, int t, Rng& rng) const;
+
+  /// Deterministic shortest path (always the lexicographically-first
+  /// predecessor choice). Used for 1-sparse deterministic baselines.
+  Path deterministic(int s, int t) const;
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  Path walk_back(int s, int t, Rng* rng) const;
+
+  const Graph* g_;
+  std::vector<std::vector<int>> dist_;
+};
+
+}  // namespace sor

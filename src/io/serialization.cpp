@@ -1,0 +1,128 @@
+#include "io/serialization.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace sor::io {
+namespace {
+
+/// Reads the next non-comment, non-empty line. Returns false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& out, const Graph& g,
+               const std::vector<double>* edge_load) {
+  out << "graph sor {\n";
+  out << "  node [shape=circle, fontsize=10];\n";
+  double max_rel = 0.0;
+  if (edge_load) {
+    for (int e = 0; e < g.num_edges(); ++e) {
+      max_rel = std::max(max_rel, (*edge_load)[static_cast<std::size_t>(e)] /
+                                      g.edge(e).capacity);
+    }
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    out << "  " << edge.u << " -- " << edge.v << " [label=\"" << edge.capacity
+        << "\"";
+    if (edge_load && max_rel > 0.0) {
+      const double rel =
+          (*edge_load)[static_cast<std::size_t>(e)] / edge.capacity / max_rel;
+      out << ", penwidth=" << (1.0 + 4.0 * rel);
+    }
+    out << "];\n";
+  }
+  out << "}\n";
+}
+
+void write_demand(std::ostream& out, const Demand& d) {
+  out << "# demand: s t value\n";
+  for (const auto& [pair, value] : d.entries()) {
+    out << pair.first << ' ' << pair.second << ' ' << value << '\n';
+  }
+}
+
+std::optional<Demand> read_demand(std::istream& in) {
+  Demand d;
+  std::string line;
+  while (next_content_line(in, line)) {
+    std::istringstream ls(line);
+    int s = 0;
+    int t = 0;
+    double value = 0.0;
+    if (!(ls >> s >> t >> value) || s == t || value < 0.0) return std::nullopt;
+    d.set(s, t, value);
+  }
+  return d;
+}
+
+void write_path_system(std::ostream& out, const PathSystem& ps) {
+  out << "# path system: s t v0 v1 ... vk\n";
+  for (const auto& [pair, list] : ps.entries()) {
+    for (const Path& p : list) {
+      out << pair.first << ' ' << pair.second;
+      for (int v : p) out << ' ' << v;
+      out << '\n';
+    }
+  }
+}
+
+std::optional<PathSystem> read_path_system(std::istream& in, const Graph& g) {
+  PathSystem ps(g.num_vertices());
+  std::string line;
+  while (next_content_line(in, line)) {
+    std::istringstream ls(line);
+    int s = 0;
+    int t = 0;
+    if (!(ls >> s >> t)) return std::nullopt;
+    Path p;
+    int v = 0;
+    while (ls >> v) p.push_back(v);
+    if (!is_valid_path(g, p, s, t)) return std::nullopt;
+    ps.add_path(s, t, std::move(p));
+  }
+  return ps;
+}
+
+void write_graph(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << ' ' << e.capacity << '\n';
+  }
+}
+
+std::optional<Graph> read_graph(std::istream& in) {
+  std::string line;
+  if (!next_content_line(in, line)) return std::nullopt;
+  std::istringstream header(line);
+  int n = 0;
+  int m = 0;
+  if (!(header >> n >> m) || n < 0 || m < 0) return std::nullopt;
+  Graph g(n);
+  for (int i = 0; i < m; ++i) {
+    if (!next_content_line(in, line)) return std::nullopt;
+    std::istringstream ls(line);
+    int u = 0;
+    int v = 0;
+    double cap = 0.0;
+    if (!(ls >> u >> v >> cap) || u < 0 || v < 0 || u >= n || v >= n ||
+        u == v || cap <= 0.0) {
+      return std::nullopt;
+    }
+    g.add_edge(u, v, cap);
+  }
+  return g;
+}
+
+}  // namespace sor::io

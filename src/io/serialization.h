@@ -1,0 +1,39 @@
+// Text serialization: Graphviz DOT export for graphs/routings, and a
+// simple line-based format for demands and path systems so experiment
+// inputs/outputs can be checked in, diffed, and reloaded.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/demand.h"
+#include "core/path_system.h"
+#include "graph/graph.h"
+
+namespace sor::io {
+
+/// Writes the graph as Graphviz DOT ("graph { ... }"); edges carry their
+/// capacity as a label. Optional per-edge load (size num_edges) is rendered
+/// as a penwidth so congested edges stand out.
+void write_dot(std::ostream& out, const Graph& g,
+               const std::vector<double>* edge_load = nullptr);
+
+/// Demand text format: one "s t value" triple per line, '#' comments.
+void write_demand(std::ostream& out, const Demand& d);
+
+/// Parses the demand format; returns nullopt on malformed input.
+std::optional<Demand> read_demand(std::istream& in);
+
+/// Path system text format: one "s t v0 v1 ... vk" line per candidate path.
+void write_path_system(std::ostream& out, const PathSystem& ps);
+
+/// Parses the path-system format (validating each path against `g`);
+/// returns nullopt on malformed input or invalid paths.
+std::optional<PathSystem> read_path_system(std::istream& in, const Graph& g);
+
+/// Graph text format: first line "n m", then m lines "u v capacity".
+void write_graph(std::ostream& out, const Graph& g);
+std::optional<Graph> read_graph(std::istream& in);
+
+}  // namespace sor::io

@@ -1,0 +1,391 @@
+#include "lp/min_congestion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "graph/shortest_path.h"
+
+namespace sor {
+namespace {
+
+/// Shared MWU loop. The `best_response` callback receives the current edge
+/// lengths (x_e / cap_e) and must, for each commodity j, select a path,
+/// record its edge ids into `chosen_edges[j]`, and return the total length
+/// of the chosen path in `chosen_len[j]`.
+template <typename BestResponse>
+CongestionResult run_mwu(const Graph& g,
+                         const std::vector<Commodity>& commodities,
+                         const MinCongestionOptions& options,
+                         BestResponse&& best_response,
+                         std::vector<std::vector<int>>* choice_counts) {
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
+  const std::size_t k = commodities.size();
+  CongestionResult result;
+  result.edge_load.assign(m, 0.0);
+  if (k == 0 || m == 0) {
+    result.congestion = 0.0;
+    result.lower_bound = 0.0;
+    return result;
+  }
+
+  std::vector<double> log_x(m, 0.0);  // adversary weights in log space
+  std::vector<double> x(m, 1.0 / static_cast<double>(m));
+  std::vector<double> lengths(m, 0.0);
+  std::vector<double> cumulative_load(m, 0.0);
+  std::vector<double> round_load(m, 0.0);
+  std::vector<std::vector<int>> chosen_edges(k);
+  std::vector<double> chosen_len(k, 0.0);
+
+  const double eta =
+      std::sqrt(std::log(static_cast<double>(m) + 2.0) /
+                static_cast<double>(std::max(options.rounds, 1)));
+
+  // Payoffs are normalized by the width (the largest single-round relative
+  // edge load). The normalizer must be (close to) constant across rounds —
+  // a per-round normalizer distorts the game — so we track the running
+  // maximum, which stabilizes within the first few rounds because the
+  // greedy all-on-one-path responses concentrate load early.
+  double width_norm = 0.0;
+  double best_lower = 0.0;
+  int round = 0;
+  for (round = 0; round < options.rounds; ++round) {
+    // Normalize x from log-space.
+    double max_log = -std::numeric_limits<double>::infinity();
+    for (double lx : log_x) max_log = std::max(max_log, lx);
+    double total = 0.0;
+    for (std::size_t e = 0; e < m; ++e) {
+      x[e] = std::exp(log_x[e] - max_log);
+      total += x[e];
+    }
+    for (std::size_t e = 0; e < m; ++e) {
+      x[e] /= total;
+      lengths[e] = x[e] / g.edge(static_cast<int>(e)).capacity;
+    }
+
+    best_response(lengths, chosen_edges, chosen_len);
+
+    // Dual certificate: opt >= sum_j d_j * dist(s_j,t_j) / sum_e x_e, and
+    // sum_e x_e == 1 after normalization.
+    double dual = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      dual += commodities[j].amount * chosen_len[j];
+    }
+    best_lower = std::max(best_lower, dual);
+
+    // Aggregate this round's pure-profile loads.
+    std::fill(round_load.begin(), round_load.end(), 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      for (int e : chosen_edges[j]) {
+        round_load[static_cast<std::size_t>(e)] += commodities[j].amount;
+      }
+    }
+    double width = 0.0;
+    for (std::size_t e = 0; e < m; ++e) {
+      cumulative_load[e] += round_load[e];
+      width = std::max(width,
+                       round_load[e] / g.edge(static_cast<int>(e)).capacity);
+    }
+    width_norm = std::max(width_norm, width);
+    if (width_norm > 0.0) {
+      for (std::size_t e = 0; e < m; ++e) {
+        log_x[e] += eta * (round_load[e] /
+                           g.edge(static_cast<int>(e)).capacity) /
+                    width_norm;
+      }
+    }
+    if (choice_counts) {
+      // Recorded by the best_response callback itself (restricted mode).
+    }
+
+    if (round + 1 >= options.min_rounds && best_lower > 0.0) {
+      double ub = 0.0;
+      for (std::size_t e = 0; e < m; ++e) {
+        ub = std::max(ub, cumulative_load[e] /
+                              (static_cast<double>(round + 1) *
+                               g.edge(static_cast<int>(e)).capacity));
+      }
+      if (ub <= best_lower * options.target_gap) {
+        ++round;
+        break;
+      }
+    }
+  }
+
+  const double rounds_used = static_cast<double>(std::max(round, 1));
+  double congestion = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    result.edge_load[e] = cumulative_load[e] / rounds_used;
+    congestion = std::max(
+        congestion, result.edge_load[e] / g.edge(static_cast<int>(e)).capacity);
+  }
+  result.congestion = congestion;
+  result.lower_bound = best_lower;
+  result.rounds_used = round;
+  return result;
+}
+
+}  // namespace
+
+double congestion_of_weights(const Graph& g,
+                             const std::vector<Commodity>& commodities,
+                             const std::vector<std::vector<Path>>& paths,
+                             const std::vector<std::vector<double>>& weights,
+                             std::vector<double>* edge_load) {
+  assert(paths.size() == commodities.size());
+  assert(weights.size() == commodities.size());
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t j = 0; j < commodities.size(); ++j) {
+    assert(weights[j].size() == paths[j].size());
+    for (std::size_t i = 0; i < paths[j].size(); ++i) {
+      if (weights[j][i] <= 0.0) continue;
+      for (int e : path_edge_ids(g, paths[j][i])) {
+        load[static_cast<std::size_t>(e)] += weights[j][i];
+      }
+    }
+  }
+  double congestion = 0.0;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    congestion = std::max(congestion,
+                          load[static_cast<std::size_t>(e)] / g.edge(e).capacity);
+  }
+  if (edge_load) *edge_load = std::move(load);
+  return congestion;
+}
+
+CongestionResult min_congestion_over_paths(
+    const Graph& g, const std::vector<Commodity>& commodities,
+    const std::vector<std::vector<Path>>& candidate_paths,
+    const MinCongestionOptions& options) {
+  assert(candidate_paths.size() == commodities.size());
+  const std::size_t k = commodities.size();
+
+  // Precompute edge ids per candidate path once.
+  std::vector<std::vector<std::vector<int>>> edge_ids(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    assert(commodities[j].amount <= 0.0 || !candidate_paths[j].empty());
+    edge_ids[j].reserve(candidate_paths[j].size());
+    for (const Path& p : candidate_paths[j]) {
+      edge_ids[j].push_back(path_edge_ids(g, p));
+    }
+  }
+
+  std::vector<std::vector<int>> counts(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    counts[j].assign(candidate_paths[j].size(), 0);
+  }
+
+  auto best_response = [&](const std::vector<double>& lengths,
+                           std::vector<std::vector<int>>& chosen_edges,
+                           std::vector<double>& chosen_len) {
+    for (std::size_t j = 0; j < k; ++j) {
+      chosen_edges[j].clear();
+      chosen_len[j] = 0.0;
+      if (commodities[j].amount <= 0.0 || candidate_paths[j].empty()) continue;
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_i = 0;
+      for (std::size_t i = 0; i < edge_ids[j].size(); ++i) {
+        double len = 0.0;
+        for (int e : edge_ids[j][i]) len += lengths[static_cast<std::size_t>(e)];
+        if (len < best) {
+          best = len;
+          best_i = i;
+        }
+      }
+      chosen_edges[j] = edge_ids[j][best_i];
+      chosen_len[j] = best;
+      ++counts[j][best_i];
+    }
+  };
+
+  CongestionResult result =
+      run_mwu(g, commodities, options, best_response, nullptr);
+
+  // Convert choice counts into fractional weights; recompute the exact
+  // congestion of those weights (matches edge_load computed incrementally,
+  // but this keeps the result self-consistent by construction).
+  result.path_weights.assign(k, {});
+  int total_rounds = std::max(result.rounds_used, 1);
+  for (std::size_t j = 0; j < k; ++j) {
+    result.path_weights[j].assign(candidate_paths[j].size(), 0.0);
+    if (commodities[j].amount <= 0.0) continue;
+    for (std::size_t i = 0; i < candidate_paths[j].size(); ++i) {
+      result.path_weights[j][i] = commodities[j].amount *
+                                  static_cast<double>(counts[j][i]) /
+                                  static_cast<double>(total_rounds);
+    }
+  }
+  result.congestion = congestion_of_weights(g, commodities, candidate_paths,
+                                            result.path_weights,
+                                            &result.edge_load);
+  return result;
+}
+
+CongestionResult min_congestion_free(const Graph& g,
+                                     const std::vector<Commodity>& commodities,
+                                     const MinCongestionOptions& options) {
+  auto best_response = [&](const std::vector<double>& lengths,
+                           std::vector<std::vector<int>>& chosen_edges,
+                           std::vector<double>& chosen_len) {
+    // Group commodities by source to share Dijkstra runs.
+    for (std::size_t j = 0; j < commodities.size(); ++j) {
+      chosen_edges[j].clear();
+      chosen_len[j] = 0.0;
+    }
+    std::vector<std::vector<std::size_t>> by_source(
+        static_cast<std::size_t>(g.num_vertices()));
+    for (std::size_t j = 0; j < commodities.size(); ++j) {
+      if (commodities[j].amount > 0.0) {
+        by_source[static_cast<std::size_t>(commodities[j].s)].push_back(j);
+      }
+    }
+    for (int s = 0; s < g.num_vertices(); ++s) {
+      const auto& js = by_source[static_cast<std::size_t>(s)];
+      if (js.empty()) continue;
+      std::vector<int> parent_edge;
+      const auto dist = dijkstra(g, s, lengths, &parent_edge);
+      for (std::size_t j : js) {
+        const int t = commodities[j].t;
+        assert(dist[static_cast<std::size_t>(t)] !=
+               std::numeric_limits<double>::infinity());
+        chosen_len[j] = dist[static_cast<std::size_t>(t)];
+        int v = t;
+        while (v != s) {
+          const int e = parent_edge[static_cast<std::size_t>(v)];
+          chosen_edges[j].push_back(e);
+          v = g.edge(e).other(v);
+        }
+      }
+    }
+  };
+
+  return run_mwu(g, commodities, options, best_response, nullptr);
+}
+
+CongestionResult min_congestion_over_paths_exact(
+    const Graph& g, const std::vector<Commodity>& commodities,
+    const std::vector<std::vector<Path>>& candidate_paths) {
+  assert(candidate_paths.size() == commodities.size());
+  const std::size_t k = commodities.size();
+
+  // Variables: one weight per (commodity, candidate path), then t (the
+  // congestion bound) last.
+  std::vector<std::size_t> var_offset(k, 0);
+  std::size_t num_path_vars = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    var_offset[j] = num_path_vars;
+    num_path_vars += candidate_paths[j].size();
+  }
+  const std::size_t t_var = num_path_vars;
+
+  LinearProgram lp;
+  lp.objective.assign(num_path_vars + 1, 0.0);
+  lp.objective[t_var] = 1.0;
+
+  // Demand satisfaction: sum_i w_{j,i} = d_j.
+  for (std::size_t j = 0; j < k; ++j) {
+    if (commodities[j].amount <= 0.0) continue;
+    std::vector<double> row(num_path_vars + 1, 0.0);
+    for (std::size_t i = 0; i < candidate_paths[j].size(); ++i) {
+      row[var_offset[j] + i] = 1.0;
+    }
+    lp.add_constraint(std::move(row), Relation::kEqual, commodities[j].amount);
+  }
+
+  // Capacity: sum over paths using e of w - cap_e * t <= 0.
+  std::vector<std::vector<std::pair<std::size_t, double>>> edge_terms(
+      static_cast<std::size_t>(g.num_edges()));
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < candidate_paths[j].size(); ++i) {
+      for (int e : path_edge_ids(g, candidate_paths[j][i])) {
+        edge_terms[static_cast<std::size_t>(e)].emplace_back(
+            var_offset[j] + i, 1.0);
+      }
+    }
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const auto& terms = edge_terms[static_cast<std::size_t>(e)];
+    if (terms.empty()) continue;
+    std::vector<double> row(num_path_vars + 1, 0.0);
+    for (const auto& [var, coef] : terms) row[var] += coef;
+    row[t_var] = -g.edge(e).capacity;
+    lp.add_constraint(std::move(row), Relation::kLessEqual, 0.0);
+  }
+
+  const LpSolution solution = solve(lp);
+  assert(solution.status == LpStatus::kOptimal);
+
+  CongestionResult result;
+  result.path_weights.assign(k, {});
+  for (std::size_t j = 0; j < k; ++j) {
+    result.path_weights[j].assign(candidate_paths[j].size(), 0.0);
+    for (std::size_t i = 0; i < candidate_paths[j].size(); ++i) {
+      result.path_weights[j][i] = solution.x[var_offset[j] + i];
+    }
+  }
+  result.congestion = congestion_of_weights(
+      g, commodities, candidate_paths, result.path_weights, &result.edge_load);
+  result.lower_bound = solution.objective;
+  return result;
+}
+
+double min_congestion_free_exact(const Graph& g,
+                                 const std::vector<Commodity>& commodities) {
+  // Edge-flow formulation with directed arc variables per commodity:
+  // f_{j,a} >= 0 for both orientations a of every edge, conservation at all
+  // vertices (net outflow d_j at s_j, -d_j at t_j, 0 elsewhere), capacity
+  // sum_j (f_{j,e+} + f_{j,e-}) <= cap_e * t; minimize t.
+  const std::size_t k = commodities.size();
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
+  const std::size_t vars_per_commodity = 2 * m;
+  const std::size_t t_var = k * vars_per_commodity;
+
+  LinearProgram lp;
+  lp.objective.assign(t_var + 1, 0.0);
+  lp.objective[t_var] = 1.0;
+
+  auto arc_var = [&](std::size_t j, std::size_t e, bool forward) {
+    return j * vars_per_commodity + 2 * e + (forward ? 0 : 1);
+  };
+
+  for (std::size_t j = 0; j < k; ++j) {
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      std::vector<double> row(t_var + 1, 0.0);
+      bool nonzero = false;
+      for (int eid : g.incident(v)) {
+        const Edge& e = g.edge(eid);
+        const std::size_t se = static_cast<std::size_t>(eid);
+        // Forward arc u->v direction of the edge as stored.
+        if (e.u == v) {
+          row[arc_var(j, se, true)] += 1.0;   // leaves v
+          row[arc_var(j, se, false)] -= 1.0;  // enters v
+        } else {
+          row[arc_var(j, se, true)] -= 1.0;
+          row[arc_var(j, se, false)] += 1.0;
+        }
+        nonzero = true;
+      }
+      double rhs = 0.0;
+      if (v == commodities[j].s) rhs = commodities[j].amount;
+      if (v == commodities[j].t) rhs = -commodities[j].amount;
+      if (!nonzero && rhs == 0.0) continue;
+      lp.add_constraint(std::move(row), Relation::kEqual, rhs);
+    }
+  }
+  for (std::size_t e = 0; e < m; ++e) {
+    std::vector<double> row(t_var + 1, 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      row[arc_var(j, e, true)] = 1.0;
+      row[arc_var(j, e, false)] = 1.0;
+    }
+    row[t_var] = -g.edge(static_cast<int>(e)).capacity;
+    lp.add_constraint(std::move(row), Relation::kLessEqual, 0.0);
+  }
+
+  const LpSolution solution = solve(lp);
+  assert(solution.status == LpStatus::kOptimal);
+  return solution.objective;
+}
+
+}  // namespace sor

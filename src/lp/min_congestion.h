@@ -1,0 +1,87 @@
+// Min-congestion routing solvers.
+//
+// Two regimes, one engine:
+//  * restricted: route each commodity over an explicit candidate-path set
+//    (Stage 4 of the semi-oblivious pipeline, Definition 5.1's cong_R(P, d)),
+//  * free: route over all paths of the graph — the offline optimum
+//    opt_{G,R}(d) the competitive ratio is measured against.
+//
+// Both are solved by multiplicative weights (Freund–Schapire) on the
+// zero-sum game "router picks a path per commodity, adversary picks an
+// edge", with the router best-responding to exponential edge weights. The
+// returned congestion is the *exact* congestion of the averaged routing (a
+// valid upper bound); `lower_bound` is an LP-duality certificate
+//     opt >= sum_j d_j * dist_w(s_j, t_j) / sum_e cap_e * w_e
+// so `congestion / lower_bound` bounds the solver's suboptimality.
+//
+// Exact reference solvers (dense simplex) are provided for small instances
+// and used by the tests to validate the MWU engine.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "lp/simplex.h"
+
+namespace sor {
+
+/// One source-destination pair with a demand amount (d(s,t) in the paper).
+struct Commodity {
+  int s = 0;
+  int t = 0;
+  double amount = 0.0;
+};
+
+struct MinCongestionOptions {
+  int rounds = 800;          ///< MWU iterations
+  double target_gap = 1.02;  ///< stop early once upper/lower <= target_gap
+  int min_rounds = 50;
+};
+
+struct CongestionResult {
+  /// Fractional weight per commodity per candidate path (restricted mode
+  /// only; empty in free mode). weights[j][i] sums to commodity j's amount.
+  std::vector<std::vector<double>> path_weights;
+  /// Aggregate (fractional) load per edge of the returned routing.
+  std::vector<double> edge_load;
+  /// Exact max_e load_e / cap_e of the returned routing (upper bound).
+  double congestion = 0.0;
+  /// Best dual certificate found: a lower bound on the LP optimum.
+  double lower_bound = 0.0;
+  int rounds_used = 0;
+};
+
+/// Fractional min-congestion routing of `commodities` where commodity j may
+/// only use `candidate_paths[j]`. Each candidate must be a valid s_j-t_j
+/// path; every commodity with amount > 0 needs >= 1 candidate.
+CongestionResult min_congestion_over_paths(
+    const Graph& g, const std::vector<Commodity>& commodities,
+    const std::vector<std::vector<Path>>& candidate_paths,
+    const MinCongestionOptions& options = {});
+
+/// Fractional min-congestion over ALL paths (the offline optimum, i.e. the
+/// maximum-concurrent-flow LP). Only congestion/lower_bound/edge_load are
+/// populated.
+CongestionResult min_congestion_free(
+    const Graph& g, const std::vector<Commodity>& commodities,
+    const MinCongestionOptions& options = {});
+
+/// Exact LP (dense simplex) version of min_congestion_over_paths. Intended
+/// for small instances; returns optimal congestion and weights.
+CongestionResult min_congestion_over_paths_exact(
+    const Graph& g, const std::vector<Commodity>& commodities,
+    const std::vector<std::vector<Path>>& candidate_paths);
+
+/// Exact LP (edge-flow formulation) optimum over all paths; small instances
+/// only. Only `congestion` is populated (plus lower_bound == congestion).
+double min_congestion_free_exact(const Graph& g,
+                                 const std::vector<Commodity>& commodities);
+
+/// Exact congestion (max_e load/cap) of explicit per-commodity path weights.
+double congestion_of_weights(const Graph& g,
+                             const std::vector<Commodity>& commodities,
+                             const std::vector<std::vector<Path>>& paths,
+                             const std::vector<std::vector<double>>& weights,
+                             std::vector<double>* edge_load = nullptr);
+
+}  // namespace sor

@@ -1,0 +1,41 @@
+// Dense two-phase primal simplex.
+//
+// This is the exact reference solver for the small LPs in tests and for the
+// exact variants of min-congestion routing. The large-scale paths are solved
+// by the multiplicative-weights engine in min_congestion.h; simplex results
+// are used to validate it.
+#pragma once
+
+#include <vector>
+
+namespace sor {
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// minimize c.x  subject to  A x (rel) b,  x >= 0.
+struct LinearProgram {
+  std::vector<double> objective;            ///< c, size = num variables
+  std::vector<std::vector<double>> rows;    ///< A, each row size = num vars
+  std::vector<double> rhs;                  ///< b
+  std::vector<Relation> relations;          ///< one per row
+
+  std::size_t num_variables() const { return objective.size(); }
+  std::size_t num_constraints() const { return rows.size(); }
+
+  /// Appends a constraint. `coeffs` must have num_variables() entries.
+  void add_constraint(std::vector<double> coeffs, Relation rel, double b);
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves with Bland's rule (no cycling). Intended for small/medium dense
+/// instances (hundreds of rows/columns).
+LpSolution solve(const LinearProgram& lp);
+
+}  // namespace sor

@@ -1,0 +1,69 @@
+// Fakcharoenphol–Rao–Talwar (FRT) hierarchical tree embedding.
+//
+// Given positive edge lengths, builds a random hierarchically-well-separated
+// tree whose leaves are the graph vertices and whose expected path-length
+// stretch is O(log n). Each tree edge (cluster -> parent cluster) is
+// embedded back into the graph as a shortest path between the cluster
+// centers, so tree routes translate into graph walks.
+//
+// This is the building block of the Räcke-style oblivious routing
+// (racke.h): Räcke's O(log n)-competitive scheme is a distribution over
+// decomposition trees; we realize it as iteratively reweighted FRT trees,
+// the construction deployed by SMORE [KYY+18] (see DESIGN.md substitutions).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace sor {
+
+/// One node of the FRT cluster tree.
+struct FrtNode {
+  int parent = -1;        ///< node id of parent (-1 for root)
+  int center = 0;         ///< graph vertex acting as cluster center
+  int depth = 0;          ///< root has depth 0
+  /// Embedded graph path from this node's center to the parent's center
+  /// (empty for the root or when centers coincide).
+  Path path_to_parent;
+};
+
+/// An FRT tree plus its embedding into the host graph.
+class FrtTree {
+ public:
+  /// Builds a random FRT tree w.r.t. `edge_length` (> 0 per edge).
+  /// Requires the graph to be connected.
+  FrtTree(const Graph& g, const std::vector<double>& edge_length, Rng& rng);
+
+  const std::vector<FrtNode>& nodes() const { return nodes_; }
+  int leaf_of(int vertex) const {
+    return leaf_[static_cast<std::size_t>(vertex)];
+  }
+
+  /// The graph walk obtained by routing s -> t through the tree (climb to
+  /// the lowest common ancestor, descend), concatenating the embedded
+  /// per-tree-edge paths, then removing loops. Always a simple s-t path.
+  Path route(int s, int t) const;
+
+  /// For every tree edge (node -> parent): the boundary capacity of the
+  /// node's vertex cluster (sum of capacities leaving the cluster). This is
+  /// the Räcke load the tree places on its embedded paths.
+  const std::vector<double>& cluster_boundary() const {
+    return cluster_boundary_;
+  }
+
+  /// Adds this tree's Räcke embedding load onto `load` (size num_edges):
+  /// for every tree edge, its cluster boundary capacity is charged to every
+  /// graph edge of its embedded path.
+  void accumulate_embedding_load(const Graph& g,
+                                 std::vector<double>& load) const;
+
+ private:
+  const Graph* g_;
+  std::vector<FrtNode> nodes_;
+  std::vector<int> leaf_;              ///< vertex -> leaf node id
+  std::vector<double> cluster_boundary_;
+};
+
+}  // namespace sor

@@ -1,0 +1,50 @@
+// Hop-constrained oblivious routing (stand-in for [GHZ21], Section 7).
+//
+// An h-hop oblivious routing must keep dil(R, d) <= beta * h while staying
+// congestion-competitive with the best h-hop routing. We realize it as a
+// recursive budgeted Valiant scheme: with budget H = max(h, d(s,t)), draw a
+// waypoint w uniformly from the "hop lens"
+//     W(s, t, H) = { w : d(s, w) + d(w, t) <= H },
+// split the remaining slack between the two legs, and recurse (random
+// shortest paths at the base). Budgets are conserved, so sampled paths have
+// at most H hops (hop-stretch beta <= 2 with margin); the cascade of
+// waypoints spreads load over every route of length <= H, which is the
+// diversity hop-constrained competitiveness needs. DESIGN.md records this
+// as a substitution for the polylog-stretch construction of [GHZ21].
+#pragma once
+
+#include <memory>
+
+#include "graph/shortest_path.h"
+#include "oblivious/routing.h"
+
+namespace sor {
+
+class HopConstrainedRouting final : public ObliviousRouting {
+ public:
+  /// `hop_bound` = h >= 1. A shared sampler may be passed to amortize the
+  /// all-pairs BFS across the O(log n) hop scales of Section 7.
+  HopConstrainedRouting(const Graph& g, int hop_bound,
+                        std::shared_ptr<const ShortestPathSampler> sampler);
+
+  HopConstrainedRouting(const Graph& g, int hop_bound)
+      : HopConstrainedRouting(g, hop_bound,
+                              std::make_shared<ShortestPathSampler>(g)) {}
+
+  Path sample_path(int s, int t, Rng& rng) const override;
+  std::string name() const override {
+    return "hop-constrained(h=" + std::to_string(hop_bound_) + ")";
+  }
+  const Graph& graph() const override { return *g_; }
+
+  int hop_bound() const { return hop_bound_; }
+  /// Guaranteed dilation bound of sampled paths: 2 * max(h, dist(s,t)).
+  int dilation_bound(int s, int t) const;
+
+ private:
+  const Graph* g_;
+  int hop_bound_;
+  std::shared_ptr<const ShortestPathSampler> sampler_;
+};
+
+}  // namespace sor

@@ -1,0 +1,46 @@
+#include "oblivious/racke.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sor {
+
+RackeRouting::RackeRouting(const Graph& g, const RackeOptions& options,
+                           Rng& rng)
+    : g_(&g) {
+  assert(options.num_trees >= 1);
+  assert(g.is_connected());
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
+  std::vector<double> load(m, 0.0);
+  std::vector<double> lengths(m, 0.0);
+  trees_.reserve(static_cast<std::size_t>(options.num_trees));
+  for (int i = 0; i < options.num_trees; ++i) {
+    double max_rel = 0.0;
+    for (std::size_t e = 0; e < m; ++e) {
+      max_rel = std::max(max_rel,
+                         load[e] / g.edge(static_cast<int>(e)).capacity);
+    }
+    for (std::size_t e = 0; e < m; ++e) {
+      const double cap = g.edge(static_cast<int>(e)).capacity;
+      const double rel = max_rel > 0.0 ? (load[e] / cap) / max_rel : 0.0;
+      lengths[e] = std::exp(options.eta * rel) / cap;
+    }
+    trees_.emplace_back(g, lengths, rng);
+    trees_.back().accumulate_embedding_load(g, load);
+  }
+  double max_rel = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    max_rel = std::max(max_rel, load[e] / (g.edge(static_cast<int>(e)).capacity *
+                                           static_cast<double>(trees_.size())));
+  }
+  max_rel_load_ = max_rel;
+}
+
+Path RackeRouting::sample_path(int s, int t, Rng& rng) const {
+  assert(s != t);
+  const std::size_t index = rng.uniform_u64(trees_.size());
+  return trees_[index].route(s, t);
+}
+
+}  // namespace sor

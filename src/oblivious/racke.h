@@ -1,0 +1,57 @@
+// Räcke-style tree-based oblivious routing for general graphs.
+//
+// Räcke [Räc08] proves every graph admits an O(log n)-competitive oblivious
+// routing given by a distribution over hierarchical decomposition trees. We
+// build that distribution by multiplicative-weight iteration over FRT tree
+// embeddings (the construction SMORE [KYY+18] deploys in practice, and the
+// practical realization of Räcke's scheme; see DESIGN.md substitutions):
+//
+//   repeat num_trees times:
+//     lengths_e <- (1 / cap_e) * exp(eta * relative_embedding_load_e)
+//     T <- random FRT tree w.r.t. lengths
+//     charge T's cluster-boundary capacities to its embedded paths
+//
+// Routing R(s, t): pick one of the trees uniformly at random, walk the tree
+// from s to t, replace tree edges by their embedded graph paths, remove
+// loops. The iteration steers later trees away from edges earlier trees
+// congest, which is what drives the empirically-logarithmic competitiveness.
+#pragma once
+
+#include <memory>
+
+#include "oblivious/frt.h"
+#include "oblivious/routing.h"
+
+namespace sor {
+
+struct RackeOptions {
+  int num_trees = 12;
+  /// MWU aggressiveness; the exponent is eta * (rel load / max rel load).
+  double eta = 6.0;
+};
+
+class RackeRouting final : public ObliviousRouting {
+ public:
+  RackeRouting(const Graph& g, const RackeOptions& options, Rng& rng);
+
+  Path sample_path(int s, int t, Rng& rng) const override;
+  std::string name() const override { return "racke-trees"; }
+  const Graph& graph() const override { return *g_; }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  /// Routes s -> t through tree `index` deterministically.
+  Path tree_route(int index, int s, int t) const {
+    return trees_[static_cast<std::size_t>(index)].route(s, t);
+  }
+
+  /// Max relative embedding load over edges, a diagnostic for how balanced
+  /// the tree distribution is (lower is better).
+  double max_relative_embedding_load() const { return max_rel_load_; }
+
+ private:
+  const Graph* g_;
+  std::vector<FrtTree> trees_;
+  double max_rel_load_ = 0.0;
+};
+
+}  // namespace sor

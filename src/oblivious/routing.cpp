@@ -1,0 +1,41 @@
+#include "oblivious/routing.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sor {
+
+std::vector<double> estimate_edge_loads(const ObliviousRouting& routing,
+                                        const std::vector<Commodity>& demand,
+                                        int samples_per_pair, Rng& rng) {
+  assert(samples_per_pair >= 1);
+  const Graph& g = routing.graph();
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const Commodity& c : demand) {
+    if (c.amount <= 0.0 || c.s == c.t) continue;
+    const double per_sample =
+        c.amount / static_cast<double>(samples_per_pair);
+    for (int i = 0; i < samples_per_pair; ++i) {
+      const Path p = routing.sample_path(c.s, c.t, rng);
+      for (int e : path_edge_ids(g, p)) {
+        load[static_cast<std::size_t>(e)] += per_sample;
+      }
+    }
+  }
+  return load;
+}
+
+double estimate_congestion(const ObliviousRouting& routing,
+                           const std::vector<Commodity>& demand,
+                           int samples_per_pair, Rng& rng) {
+  const Graph& g = routing.graph();
+  const auto load = estimate_edge_loads(routing, demand, samples_per_pair, rng);
+  double congestion = 0.0;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    congestion = std::max(
+        congestion, load[static_cast<std::size_t>(e)] / g.edge(e).capacity);
+  }
+  return congestion;
+}
+
+}  // namespace sor

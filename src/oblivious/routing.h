@@ -1,0 +1,49 @@
+// Oblivious routing interface (Section 4: a routing R = {R(s,t)} is a
+// distribution over simple (s,t)-paths for every pair, chosen independently
+// of the demand).
+//
+// Implementations expose the distribution through `sample_path`; that is all
+// the semi-oblivious sampler (Definition 5.2) needs. Expected edge loads /
+// cong(R, d) are estimated by Monte Carlo with a caller-controlled sample
+// budget (`estimate_congestion`), which converges quickly because each pair
+// contributes independently.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "lp/min_congestion.h"
+#include "util/rng.h"
+
+namespace sor {
+
+/// Abstract oblivious routing over a fixed graph.
+class ObliviousRouting {
+ public:
+  virtual ~ObliviousRouting() = default;
+
+  /// Draws a simple s-t path from R(s, t). Requires s != t and both valid.
+  virtual Path sample_path(int s, int t, Rng& rng) const = 0;
+
+  /// Human-readable identifier for tables/logs.
+  virtual std::string name() const = 0;
+
+  /// The graph this routing is defined over.
+  virtual const Graph& graph() const = 0;
+};
+
+/// Monte-Carlo estimate of the expected per-edge load of routing `demand`
+/// with R: load_e = sum_j d_j * P[e in R(s_j, t_j)], each probability
+/// estimated from `samples_per_pair` draws.
+std::vector<double> estimate_edge_loads(const ObliviousRouting& routing,
+                                        const std::vector<Commodity>& demand,
+                                        int samples_per_pair, Rng& rng);
+
+/// Monte-Carlo estimate of cong(R, d) = max_e load_e / cap_e.
+double estimate_congestion(const ObliviousRouting& routing,
+                           const std::vector<Commodity>& demand,
+                           int samples_per_pair, Rng& rng);
+
+}  // namespace sor

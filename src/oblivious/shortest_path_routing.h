@@ -1,0 +1,57 @@
+// Shortest-path based oblivious routings on general graphs.
+//
+//  * RandomShortestPathRouting — uniform random tight-predecessor walk; a
+//    diverse distribution supported on shortest paths only. On the
+//    lower-bound gadget C(n, k) this is exactly the natural "uniform middle
+//    vertex" routing the paper's Section 8 analysis targets.
+//  * DeterministicShortestPathRouting — the 1-sparse deterministic baseline
+//    (always the same path per pair).
+#pragma once
+
+#include <memory>
+
+#include "graph/shortest_path.h"
+#include "oblivious/routing.h"
+
+namespace sor {
+
+class RandomShortestPathRouting final : public ObliviousRouting {
+ public:
+  explicit RandomShortestPathRouting(const Graph& g)
+      : g_(&g), sampler_(std::make_shared<ShortestPathSampler>(g)) {}
+
+  /// Shares a prebuilt sampler (all-pairs BFS is the expensive part).
+  RandomShortestPathRouting(const Graph& g,
+                            std::shared_ptr<const ShortestPathSampler> sampler)
+      : g_(&g), sampler_(std::move(sampler)) {}
+
+  Path sample_path(int s, int t, Rng& rng) const override {
+    return sampler_->sample(s, t, rng);
+  }
+  std::string name() const override { return "random-shortest-path"; }
+  const Graph& graph() const override { return *g_; }
+
+  const ShortestPathSampler& sampler() const { return *sampler_; }
+
+ private:
+  const Graph* g_;
+  std::shared_ptr<const ShortestPathSampler> sampler_;
+};
+
+class DeterministicShortestPathRouting final : public ObliviousRouting {
+ public:
+  explicit DeterministicShortestPathRouting(const Graph& g)
+      : g_(&g), sampler_(std::make_shared<ShortestPathSampler>(g)) {}
+
+  Path sample_path(int s, int t, Rng& /*rng*/) const override {
+    return sampler_->deterministic(s, t);
+  }
+  std::string name() const override { return "deterministic-shortest-path"; }
+  const Graph& graph() const override { return *g_; }
+
+ private:
+  const Graph* g_;
+  std::shared_ptr<const ShortestPathSampler> sampler_;
+};
+
+}  // namespace sor

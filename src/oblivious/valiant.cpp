@@ -1,0 +1,58 @@
+#include "oblivious/valiant.h"
+
+#include <cassert>
+
+namespace sor {
+
+void append_bit_fix_walk(Path& walk, int from, int to,
+                         const std::vector<int>& dims) {
+  assert(!walk.empty() && walk.back() == from);
+  int current = from;
+  for (int d : dims) {
+    const int bit = 1 << d;
+    if ((current & bit) != (to & bit)) {
+      current ^= bit;
+      walk.push_back(current);
+    }
+  }
+  assert(current == to);
+}
+
+ValiantRouting::ValiantRouting(const Graph& g, int dim) : g_(&g), dim_(dim) {
+  assert(g.num_vertices() == (1 << dim));
+}
+
+Path ValiantRouting::sample_path(int s, int t, Rng& rng) const {
+  assert(s != t);
+  const int w = static_cast<int>(rng.uniform_u64(
+      static_cast<std::uint64_t>(g_->num_vertices())));
+  std::vector<int> dims(static_cast<std::size_t>(dim_));
+  for (int d = 0; d < dim_; ++d) dims[static_cast<std::size_t>(d)] = d;
+
+  Path walk = {s};
+  rng.shuffle(dims);
+  append_bit_fix_walk(walk, s, w, dims);
+  rng.shuffle(dims);
+  append_bit_fix_walk(walk, w, t, dims);
+  return simplify_walk(walk);
+}
+
+GreedyBitFixRouting::GreedyBitFixRouting(const Graph& g, int dim)
+    : g_(&g), dim_(dim) {
+  assert(g.num_vertices() == (1 << dim));
+}
+
+Path GreedyBitFixRouting::path(int s, int t) const {
+  assert(s != t);
+  std::vector<int> dims(static_cast<std::size_t>(dim_));
+  for (int d = 0; d < dim_; ++d) dims[static_cast<std::size_t>(d)] = d;
+  Path walk = {s};
+  append_bit_fix_walk(walk, s, t, dims);
+  return walk;  // bit-fixing along distinct dimensions is already simple
+}
+
+Path GreedyBitFixRouting::sample_path(int s, int t, Rng& /*rng*/) const {
+  return path(s, t);
+}
+
+}  // namespace sor

@@ -1,0 +1,53 @@
+// Hypercube routings (Section 3, "Routing on Hypercubes").
+//
+//  * ValiantRouting — Valiant & Brebner's trick [VB81]: route s -> w -> t
+//    through a uniformly random intermediate w, fixing differing bits in a
+//    random order on each leg. O(1)-competitive in expectation on
+//    permutation demands.
+//  * GreedyBitFixRouting — the deterministic 1-path baseline (fix differing
+//    bits lowest-to-highest). [KKT91] show every deterministic oblivious
+//    routing suffers congestion Omega(sqrt(n)/log n) on some permutation;
+//    bit-reversal exhibits it (experiment T2).
+#pragma once
+
+#include "oblivious/routing.h"
+
+namespace sor {
+
+class ValiantRouting final : public ObliviousRouting {
+ public:
+  /// `g` must be gen::hypercube(dim).
+  ValiantRouting(const Graph& g, int dim);
+
+  Path sample_path(int s, int t, Rng& rng) const override;
+  std::string name() const override { return "valiant"; }
+  const Graph& graph() const override { return *g_; }
+
+ private:
+  const Graph* g_;
+  int dim_;
+};
+
+class GreedyBitFixRouting final : public ObliviousRouting {
+ public:
+  GreedyBitFixRouting(const Graph& g, int dim);
+
+  Path sample_path(int s, int t, Rng& rng) const override;
+  std::string name() const override { return "greedy-bitfix"; }
+  const Graph& graph() const override { return *g_; }
+
+  /// The unique deterministic path (no randomness involved).
+  Path path(int s, int t) const;
+
+ private:
+  const Graph* g_;
+  int dim_;
+};
+
+/// Appends to `walk` the bit-fixing walk from `from` to `to`, fixing the
+/// differing dimensions in the order given by `dims` (subset filter applied
+/// internally). `walk` must end with `from`.
+void append_bit_fix_walk(Path& walk, int from, int to,
+                         const std::vector<int>& dims);
+
+}  // namespace sor

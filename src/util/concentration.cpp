@@ -1,0 +1,40 @@
+#include "util/concentration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sor {
+
+double chernoff_large_deviation(double mu, double delta) {
+  if (mu <= 0.0 || delta < 2.0) return 1.0;
+  return std::min(1.0, std::exp(-mu * delta * std::log(delta) / 4.0));
+}
+
+double chernoff_standard(double mu, double delta) {
+  if (mu <= 0.0 || delta <= 0.0) return 1.0;
+  return std::min(1.0, std::exp(-delta * delta * mu / (2.0 + delta)));
+}
+
+double rounding_edge_failure_bound(double mu, std::size_t num_edges) {
+  // In the Lemma 6.3 proof: delta_e = 1 + 3 ln(m) / mu, so the exceedance
+  // 2 mu + 3 ln m = (1 + delta_e) mu and Lemma B.6 applies.
+  const double lnm = std::log(static_cast<double>(std::max<std::size_t>(
+      num_edges, 2)));
+  if (mu <= 0.0) return 0.0;  // load 0 cannot exceed the additive term...
+  const double delta = 1.0 + 3.0 * lnm / mu;
+  return chernoff_standard(mu, delta);
+}
+
+double log2_bad_pattern_count(double demand_size, int alpha,
+                              std::size_t num_edges) {
+  const double m = static_cast<double>(std::max<std::size_t>(num_edges, 2));
+  return 4.0 * demand_size / static_cast<double>(alpha) * std::log2(m);
+}
+
+double log2_main_lemma_failure(double h, std::size_t support,
+                               std::size_t num_edges) {
+  const double m = static_cast<double>(std::max<std::size_t>(num_edges, 2));
+  return -(h + 3.0) * static_cast<double>(support) * std::log2(m);
+}
+
+}  // namespace sor

@@ -1,0 +1,39 @@
+// Concentration bounds from Appendix B, as callable functions.
+//
+// The paper's Main Lemma rests on Chernoff bounds for negatively associated
+// 0/1 variables (Lemmas B.5 and B.6) and on the bad-pattern counting of
+// Lemma 5.13. Exposing them as code lets the experiments compare empirical
+// failure frequencies of the deletion process against the analytic budget,
+// which is the repository's executable check of the probabilistic argument.
+#pragma once
+
+#include <cstddef>
+
+namespace sor {
+
+/// Lemma B.5: P[X >= delta * mu] <= exp(-mu * delta * ln(delta) / 4) for a
+/// sum X of negatively associated 0/1 variables with mean mu, delta >= 2.
+/// Returns 1 when the precondition delta >= 2 fails (the bound is void).
+double chernoff_large_deviation(double mu, double delta);
+
+/// Lemma B.6: P[X >= (1 + delta) mu] <= exp(-delta^2 mu / (2 + delta)),
+/// delta > 0. Returns 1 for void preconditions.
+double chernoff_standard(double mu, double delta);
+
+/// The rounding lemma's per-edge failure bound (proof of Lemma 6.3):
+/// probability that an edge's rounded load exceeds 2*mu + 3 ln m.
+double rounding_edge_failure_bound(double mu, std::size_t num_edges);
+
+/// Lemma 5.13-style bad-pattern count bound: m^(4 D / alpha) patterns, as
+/// a log2 to avoid overflow: returns (4 D / alpha) * log2(m).
+double log2_bad_pattern_count(double demand_size, int alpha,
+                              std::size_t num_edges);
+
+/// The Main Lemma's failure budget (Lemma 5.6): an upper bound on the
+/// probability that an (alpha+cut)-sample fails to weakly route a fixed
+/// special demand with support size `support`, at hardness parameter h:
+/// m^(-(h+3) * support), returned as log2 (a very negative number).
+double log2_main_lemma_failure(double h, std::size_t support,
+                               std::size_t num_edges);
+
+}  // namespace sor

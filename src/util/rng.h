@@ -1,0 +1,121 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256++).
+//
+// Every randomized component in this library takes a `Rng&` so that all
+// experiments are reproducible from a single seed. We deliberately avoid
+// std::mt19937 + std::uniform_*_distribution because their output is not
+// guaranteed to be identical across standard library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sor {
+
+/// xoshiro256++ PRNG seeded via splitmix64. Satisfies the essential parts of
+/// UniformRandomBitGenerator so it can also be handed to std algorithms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire-style
+  /// rejection to avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(uniform_u64(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_double(double lo, double hi) {
+    return lo + (hi - lo) * uniform_double();
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform_double() < p; }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  int weighted_index(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double target = uniform_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = uniform_u64(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Returns a uniformly random permutation of {0, ..., n-1}.
+  std::vector<int> permutation(int n) {
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    shuffle(perm);
+    return perm;
+  }
+
+  /// Derives an independent child generator (for parallel experiment arms).
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace sor

@@ -1,0 +1,31 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <vector>
+
+namespace sor {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;  ///< 90th percentile
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
+double quantile(std::vector<double> xs, double q);
+
+/// Computes all summary statistics in one pass. Requires non-empty input.
+Summary summarize(const std::vector<double>& xs);
+
+/// Geometric mean. Requires all entries > 0 and non-empty input.
+double geometric_mean(const std::vector<double>& xs);
+
+}  // namespace sor

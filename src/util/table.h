@@ -1,0 +1,39 @@
+// Fixed-width plain-text table printer used by the benchmark harnesses to
+// emit the paper-style result tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sor {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// Numeric convenience overloads format with sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells are then appended with `cell(...)`.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(int value);
+  Table& cell(std::size_t value);
+  Table& cell(double value, int precision = 3);
+
+  /// Renders the table (headers, separator, rows) to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sor

@@ -1,0 +1,81 @@
+#include "core/adversary_search.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "oblivious/shortest_path_routing.h"
+#include "oblivious/valiant.h"
+
+namespace sor {
+namespace {
+
+TEST(AdversarySearch, FindsAValidPermutationDemand) {
+  Rng rng(1);
+  const Graph g = gen::grid(3, 3);
+  RandomShortestPathRouting routing(g);
+  const PathSystem ps = sample_path_system_all_pairs(routing, 2, rng);
+  std::vector<int> vertices;
+  for (int v = 0; v < g.num_vertices(); ++v) vertices.push_back(v);
+  AdversarySearchOptions options;
+  options.iterations = 15;
+  options.pool = 2;
+  const auto result = find_bad_permutation(g, ps, vertices, rng, options);
+  EXPECT_GT(result.ratio, 0.0);
+  // Permutation property.
+  std::vector<int> out(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<int> in(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (const auto& [pair, value] : result.demand.entries()) {
+    EXPECT_DOUBLE_EQ(value, 1.0);
+    EXPECT_LE(++out[static_cast<std::size_t>(pair.first)], 1);
+    EXPECT_LE(++in[static_cast<std::size_t>(pair.second)], 1);
+  }
+}
+
+TEST(AdversarySearch, HillClimbingDoesNotRegress) {
+  // The best-found ratio must be at least as bad as a fresh random
+  // permutation demand's ratio on average (it starts from one and only
+  // accepts improvements).
+  Rng rng(2);
+  const Graph g = gen::hypercube(4);
+  RandomShortestPathRouting routing(g);
+  const PathSystem ps = sample_path_system_all_pairs(routing, 1, rng);
+  std::vector<int> vertices;
+  for (int v = 0; v < g.num_vertices(); ++v) vertices.push_back(v);
+
+  AdversarySearchOptions options;
+  options.iterations = 20;
+  options.pool = 2;
+  const auto result = find_bad_permutation(g, ps, vertices, rng, options);
+
+  double random_avg = 0.0;
+  const int trials = 4;
+  for (int t = 0; t < trials; ++t) {
+    const Demand d = gen::random_permutation_demand(g.num_vertices(), rng);
+    const auto routed = route_fractional(g, ps, d, options.routing_options);
+    const double lb =
+        std::max(distance_lower_bound(g, d), d.size() / g.total_capacity());
+    random_avg += routed.congestion / lb / trials;
+  }
+  EXPECT_GE(result.ratio, random_avg * 0.8);
+}
+
+TEST(AdversarySearch, SparserSystemsAreEasierToHurt) {
+  // The searched-for worst case should separate alpha = 1 from alpha = 6
+  // at least as clearly as random demands do.
+  Rng rng(3);
+  const Graph g = gen::hypercube(4);
+  ValiantRouting routing(g, 4);
+  const PathSystem ps1 = sample_path_system_all_pairs(routing, 1, rng);
+  const PathSystem ps6 = sample_path_system_all_pairs(routing, 6, rng);
+  std::vector<int> vertices;
+  for (int v = 0; v < g.num_vertices(); ++v) vertices.push_back(v);
+  AdversarySearchOptions options;
+  options.iterations = 25;
+  options.pool = 2;
+  const auto bad1 = find_bad_permutation(g, ps1, vertices, rng, options);
+  const auto bad6 = find_bad_permutation(g, ps6, vertices, rng, options);
+  EXPECT_GT(bad1.ratio, bad6.ratio);
+}
+
+}  // namespace
+}  // namespace sor

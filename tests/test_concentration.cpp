@@ -1,0 +1,99 @@
+#include "util/concentration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sor {
+namespace {
+
+TEST(Concentration, ChernoffLargeDeviationBasics) {
+  // Monotone decreasing in both mu and delta; void below delta = 2.
+  EXPECT_DOUBLE_EQ(chernoff_large_deviation(10.0, 1.5), 1.0);
+  EXPECT_DOUBLE_EQ(chernoff_large_deviation(0.0, 3.0), 1.0);
+  const double a = chernoff_large_deviation(5.0, 2.0);
+  const double b = chernoff_large_deviation(5.0, 4.0);
+  const double c = chernoff_large_deviation(10.0, 4.0);
+  EXPECT_LT(b, a);
+  EXPECT_LT(c, b);
+  EXPECT_GT(a, 0.0);
+  // Known value: exp(-mu delta ln(delta)/4) at mu=4, delta=2.
+  EXPECT_NEAR(chernoff_large_deviation(4.0, 2.0),
+              std::exp(-4.0 * 2.0 * std::log(2.0) / 4.0), 1e-12);
+}
+
+TEST(Concentration, ChernoffStandardBasics) {
+  EXPECT_DOUBLE_EQ(chernoff_standard(10.0, 0.0), 1.0);
+  EXPECT_NEAR(chernoff_standard(9.0, 1.0), std::exp(-3.0), 1e-12);
+  EXPECT_LT(chernoff_standard(9.0, 2.0), chernoff_standard(9.0, 1.0));
+}
+
+TEST(Concentration, EmpiricalFrequencyBelowChernoff) {
+  // Sum of independent Bernoulli(p) (a fortiori negatively associated):
+  // empirical exceedance frequency must respect the analytic bound.
+  Rng rng(1);
+  const int n = 60;
+  const double p = 0.1;
+  const double mu = n * p;
+  const double delta = 2.5;
+  const double threshold = delta * mu;
+  const int trials = 20000;
+  int exceed = 0;
+  for (int t = 0; t < trials; ++t) {
+    int x = 0;
+    for (int i = 0; i < n; ++i) x += rng.bernoulli(p);
+    if (x >= threshold) ++exceed;
+  }
+  const double freq = static_cast<double>(exceed) / trials;
+  const double bound = chernoff_large_deviation(mu, delta);
+  // Allow generous sampling slack (the bound itself is not tight).
+  EXPECT_LE(freq, bound + 3.0 * std::sqrt(bound / trials) + 5e-3);
+}
+
+TEST(Concentration, RoundingEdgeFailureBound) {
+  // The per-edge failure bound from Lemma 6.3's proof is < 1/m, which is
+  // what makes the union bound over edges work.
+  for (std::size_t m : {16u, 128u, 1024u}) {
+    for (double mu : {0.5, 2.0, 8.0}) {
+      EXPECT_LT(rounding_edge_failure_bound(mu, m),
+                1.0 / static_cast<double>(m))
+          << "m=" << m << " mu=" << mu;
+    }
+  }
+  EXPECT_DOUBLE_EQ(rounding_edge_failure_bound(0.0, 64), 0.0);
+}
+
+TEST(Concentration, BadPatternBudgetBeatsPatternCount) {
+  // The heart of Lemma 5.6's union bound: per-pattern failure m^-(h+7)D/a
+  // times m^(4D/a) patterns is at most m^-(h+3)D/a. In log2 form the
+  // failure budget must dominate the pattern count with margin.
+  const std::size_t m = 512;
+  const int alpha = 8;
+  const double demand_size = 64.0;
+  const double h = 1.0;
+  const double log_patterns = log2_bad_pattern_count(demand_size, alpha, m);
+  const double log_per_pattern =
+      -(h + 7.0) * demand_size / alpha * std::log2(static_cast<double>(m));
+  const double log_total = log_patterns + log_per_pattern;
+  EXPECT_LE(log_total,
+            log2_main_lemma_failure(h, /*support=*/
+                                    static_cast<std::size_t>(demand_size /
+                                                             alpha),
+                                    m) +
+                1e-9);
+}
+
+TEST(Concentration, MainLemmaFailureIsTiny) {
+  // For realistic sizes the failure budget is astronomically small.
+  EXPECT_LT(log2_main_lemma_failure(1.0, 32, 1024), -1000.0);
+  // And monotone: more support or larger h -> smaller failure.
+  EXPECT_LT(log2_main_lemma_failure(2.0, 32, 1024),
+            log2_main_lemma_failure(1.0, 32, 1024));
+  EXPECT_LT(log2_main_lemma_failure(1.0, 64, 1024),
+            log2_main_lemma_failure(1.0, 32, 1024));
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,148 @@
+#include "core/demand.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.h"
+
+namespace sor {
+namespace {
+
+TEST(Demand, SetAddAtErase) {
+  Demand d;
+  EXPECT_TRUE(d.empty());
+  d.set(0, 1, 2.0);
+  d.add(0, 1, 0.5);
+  d.set(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 0.0);  // directed pairs
+  EXPECT_EQ(d.support_size(), 2u);
+  EXPECT_DOUBLE_EQ(d.size(), 3.5);
+  d.set(0, 1, 0.0);
+  EXPECT_EQ(d.support_size(), 1u);
+}
+
+TEST(Demand, IsZeroOne) {
+  Demand d;
+  d.set(0, 1, 1.0);
+  d.set(1, 2, 1.0);
+  EXPECT_TRUE(d.is_zero_one());
+  d.set(2, 3, 2.0);
+  EXPECT_FALSE(d.is_zero_one());
+}
+
+TEST(Demand, CommoditiesOrderIsDeterministic) {
+  Demand d;
+  d.set(3, 1, 1.0);
+  d.set(0, 2, 2.0);
+  const auto cs = d.commodities();
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].s, 0);
+  EXPECT_EQ(cs[1].s, 3);
+}
+
+TEST(Demand, FilteredAndMinus) {
+  Demand d;
+  d.set(0, 1, 2.0);
+  d.set(1, 2, 4.0);
+  const Demand big = d.filtered(
+      [](int, int, double value) { return value > 3.0; });
+  EXPECT_EQ(big.support_size(), 1u);
+  EXPECT_DOUBLE_EQ(big.at(1, 2), 4.0);
+
+  Demand d2;
+  d2.set(0, 1, 0.5);
+  d2.set(1, 2, 4.0);
+  const Demand rest = Demand::minus(d, d2);
+  EXPECT_DOUBLE_EQ(rest.at(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(rest.at(1, 2), 0.0);
+  EXPECT_EQ(rest.support_size(), 1u);
+}
+
+TEST(DemandGen, RandomPermutationIsPermutation) {
+  Rng rng(1);
+  const int n = 20;
+  const Demand d = gen::random_permutation_demand(n, rng);
+  EXPECT_TRUE(d.is_zero_one());
+  std::vector<int> out(static_cast<std::size_t>(n), 0);
+  std::vector<int> in(static_cast<std::size_t>(n), 0);
+  for (const auto& [pair, value] : d.entries()) {
+    ++out[static_cast<std::size_t>(pair.first)];
+    ++in[static_cast<std::size_t>(pair.second)];
+  }
+  for (int v = 0; v < n; ++v) {
+    EXPECT_LE(out[static_cast<std::size_t>(v)], 1);
+    EXPECT_LE(in[static_cast<std::size_t>(v)], 1);
+  }
+}
+
+TEST(DemandGen, RandomPairsCountAndValues) {
+  Rng rng(2);
+  const Demand d = gen::random_pairs_demand(30, 12, rng, 2.5);
+  EXPECT_EQ(d.support_size(), 12u);
+  for (const auto& [pair, value] : d.entries()) {
+    EXPECT_DOUBLE_EQ(value, 2.5);
+    EXPECT_NE(pair.first, pair.second);
+  }
+}
+
+TEST(DemandGen, BitReversalIsPermutationDemand) {
+  const int dim = 4;
+  const Demand d = gen::bit_reversal_demand(dim);
+  // 0000, 0110, 1001, 1111, 0101(?)... fixed points are palindromic ids.
+  EXPECT_TRUE(d.is_zero_one());
+  for (const auto& [pair, value] : d.entries()) {
+    int reversed = 0;
+    for (int b = 0; b < dim; ++b) {
+      if (pair.first & (1 << b)) reversed |= 1 << (dim - 1 - b);
+    }
+    EXPECT_EQ(pair.second, reversed);
+  }
+  // Palindromic bit strings are fixed points: 0000, 0110, 1001, 1111.
+  EXPECT_EQ(d.support_size(), 12u);
+}
+
+TEST(DemandGen, TransposeIsInvolutionWithoutFixedPoints) {
+  const int dim = 4;
+  const Demand d = gen::transpose_demand(dim);
+  for (const auto& [pair, value] : d.entries()) {
+    EXPECT_DOUBLE_EQ(d.at(pair.second, pair.first), 1.0);  // involution
+  }
+  // Fixed points: lo == hi -> 4 of 16 vertices.
+  EXPECT_EQ(d.support_size(), 12u);
+}
+
+TEST(DemandGen, HotspotStructure) {
+  Rng rng(5);
+  const Demand d = gen::hotspot_demand(40, 3, 6, 2.0, rng);
+  EXPECT_EQ(d.support_size(), 18u);
+  // Exactly 3 distinct sinks, each with fan-in 6.
+  std::map<int, int> fanin;
+  for (const auto& [pair, value] : d.entries()) {
+    EXPECT_DOUBLE_EQ(value, 2.0);
+    ++fanin[pair.second];
+  }
+  EXPECT_EQ(fanin.size(), 3u);
+  for (const auto& [sink, count] : fanin) EXPECT_EQ(count, 6);
+}
+
+TEST(DemandGen, StrideIsPermutation) {
+  const Demand d = gen::stride_demand(12, 5);
+  EXPECT_EQ(d.support_size(), 12u);
+  for (const auto& [pair, value] : d.entries()) {
+    EXPECT_EQ(pair.second, (pair.first + 5) % 12);
+  }
+}
+
+TEST(DemandGen, GravityTotalAndTruncation) {
+  const Graph g = gen::abilene();
+  const Demand full = gen::gravity_demand(g, 100.0);
+  EXPECT_NEAR(full.size(), 100.0, 100.0 * 0.15);  // diagonal excluded
+  const Demand top = gen::gravity_demand(g, 100.0, 10);
+  EXPECT_EQ(top.support_size(), 10u);
+  EXPECT_LT(top.size(), full.size());
+}
+
+}  // namespace
+}  // namespace sor

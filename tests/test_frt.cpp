@@ -1,0 +1,139 @@
+#include "oblivious/frt.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+
+namespace sor {
+namespace {
+
+std::vector<double> unit_lengths(const Graph& g) {
+  return std::vector<double>(static_cast<std::size_t>(g.num_edges()), 1.0);
+}
+
+TEST(Frt, EveryVertexHasALeaf) {
+  Rng rng(1);
+  const Graph g = gen::grid(4, 4);
+  const FrtTree tree(g, unit_lengths(g), rng);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int leaf = tree.leaf_of(v);
+    ASSERT_GE(leaf, 0);
+    EXPECT_EQ(tree.nodes()[static_cast<std::size_t>(leaf)].center, v);
+  }
+}
+
+TEST(Frt, TreeIsWellFormed) {
+  Rng rng(2);
+  const Graph g = gen::hypercube(4);
+  const FrtTree tree(g, unit_lengths(g), rng);
+  int roots = 0;
+  for (const FrtNode& node : tree.nodes()) {
+    if (node.parent < 0) {
+      ++roots;
+      EXPECT_EQ(node.depth, 0);
+    } else {
+      const FrtNode& parent = tree.nodes()[static_cast<std::size_t>(node.parent)];
+      EXPECT_EQ(node.depth, parent.depth + 1);
+      if (!node.path_to_parent.empty()) {
+        EXPECT_EQ(node.path_to_parent.front(), node.center);
+        EXPECT_EQ(node.path_to_parent.back(), parent.center);
+      } else {
+        EXPECT_EQ(node.center, parent.center);
+      }
+    }
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+class FrtRouteSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrtRouteSweep, RoutesAreValidSimplePaths) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  const Graph g = gen::erdos_renyi_connected(15, 0.25, rng);
+  const FrtTree tree(g, unit_lengths(g), rng);
+  for (int s = 0; s < g.num_vertices(); ++s) {
+    for (int t = 0; t < g.num_vertices(); ++t) {
+      if (s == t) continue;
+      const Path p = tree.route(s, t);
+      ASSERT_TRUE(is_valid_path(g, p, s, t))
+          << "bad route " << s << "->" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrtRouteSweep, ::testing::Range(0, 8));
+
+TEST(Frt, AverageStretchIsLogarithmic) {
+  // FRT guarantees expected stretch O(log n); empirically verify the
+  // average route length over pairs stays within a generous factor.
+  Rng rng(3);
+  const Graph g = gen::grid(5, 5);
+  ShortestPathSampler sampler(g);
+  double total_stretch = 0.0;
+  int count = 0;
+  const int kTrees = 8;
+  for (int i = 0; i < kTrees; ++i) {
+    const FrtTree tree(g, unit_lengths(g), rng);
+    for (int s = 0; s < g.num_vertices(); ++s) {
+      for (int t = s + 1; t < g.num_vertices(); ++t) {
+        total_stretch += static_cast<double>(hop_count(tree.route(s, t))) /
+                         static_cast<double>(sampler.hop_distance(s, t));
+        ++count;
+      }
+    }
+  }
+  const double avg_stretch = total_stretch / count;
+  EXPECT_LT(avg_stretch, 6.0);  // ~log2(25) with slack
+  EXPECT_GE(avg_stretch, 1.0);
+}
+
+TEST(Frt, ClusterBoundariesArePositiveOffRoot) {
+  Rng rng(4);
+  const Graph g = gen::grid(3, 3);
+  const FrtTree tree(g, unit_lengths(g), rng);
+  const auto& boundary = tree.cluster_boundary();
+  for (std::size_t id = 0; id < tree.nodes().size(); ++id) {
+    if (tree.nodes()[id].parent < 0) {
+      EXPECT_DOUBLE_EQ(boundary[id], 0.0);  // the root cluster is V
+    } else {
+      EXPECT_GT(boundary[id], 0.0);  // proper subset of a connected graph
+    }
+  }
+}
+
+TEST(Frt, EmbeddingLoadAccumulates) {
+  Rng rng(5);
+  const Graph g = gen::grid(3, 3);
+  const FrtTree tree(g, unit_lengths(g), rng);
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  tree.accumulate_embedding_load(g, load);
+  double total = 0.0;
+  for (double l : load) {
+    EXPECT_GE(l, 0.0);
+    total += l;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Frt, RespectsEdgeLengths) {
+  // With one enormous-length edge, FRT shortest-path embeddings should
+  // avoid it whenever an alternative exists: its load stays zero.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const int heavy = g.add_edge(3, 0);
+  std::vector<double> lengths(4, 1.0);
+  lengths[static_cast<std::size_t>(heavy)] = 1000.0;
+  Rng rng(6);
+  for (int i = 0; i < 5; ++i) {
+    const FrtTree tree(g, lengths, rng);
+    std::vector<double> load(4, 0.0);
+    tree.accumulate_embedding_load(g, load);
+    EXPECT_DOUBLE_EQ(load[static_cast<std::size_t>(heavy)], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sor

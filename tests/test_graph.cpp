@@ -1,0 +1,131 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sor {
+namespace {
+
+TEST(Graph, AddEdgeAndAccessors) {
+  Graph g(4);
+  const int e0 = g.add_edge(0, 1, 2.0);
+  const int e1 = g.add_edge(1, 2);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge(e0).capacity, 2.0);
+  EXPECT_EQ(g.edge(e0).other(0), 1);
+  EXPECT_EQ(g.edge(e0).other(1), 0);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_EQ(g.edge_between(1, 2), e1);
+  EXPECT_EQ(g.edge_between(2, 1), e1);
+  EXPECT_EQ(g.edge_between(0, 3), -1);
+}
+
+TEST(Graph, ParallelEdgesCanonicalIsMaxCapacity) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  const int big = g.add_edge(0, 1, 5.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edge_between(0, 1), big);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(Graph(1).is_connected());
+  EXPECT_TRUE(Graph(0).is_connected());
+  EXPECT_FALSE(Graph(2).is_connected());
+}
+
+TEST(Graph, TotalAndBoundaryCapacity) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 4.0);
+  g.add_edge(3, 0, 8.0);
+  EXPECT_DOUBLE_EQ(g.total_capacity(), 15.0);
+  // Cut {0, 1} vs {2, 3}: edges (1,2) and (3,0).
+  EXPECT_DOUBLE_EQ(g.boundary_capacity({1, 1, 0, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(g.boundary_capacity({1, 1, 1, 1}), 0.0);
+}
+
+TEST(Graph, ValidPathChecks) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 3);
+  EXPECT_TRUE(is_valid_path(g, {0, 1, 2, 3}, 0, 3));
+  EXPECT_TRUE(is_valid_path(g, {0, 1, 3}, 0, 3));
+  EXPECT_TRUE(is_valid_path(g, {0}, 0, 0));
+  EXPECT_FALSE(is_valid_path(g, {0, 2}, 0, 2));          // not adjacent
+  EXPECT_FALSE(is_valid_path(g, {0, 1, 2, 1}, 0, 1));    // repeats vertex
+  EXPECT_FALSE(is_valid_path(g, {0, 1}, 0, 2));          // wrong endpoint
+  EXPECT_FALSE(is_valid_path(g, {}, 0, 0));              // empty
+  EXPECT_FALSE(is_valid_path(g, {0, 4}, 0, 4));          // no edge
+}
+
+TEST(Graph, PathEdgeIds) {
+  Graph g(4);
+  const int a = g.add_edge(0, 1);
+  const int b = g.add_edge(1, 2);
+  const int c = g.add_edge(2, 3);
+  EXPECT_EQ(path_edge_ids(g, {0, 1, 2, 3}), (std::vector<int>{a, b, c}));
+  EXPECT_TRUE(path_edge_ids(g, {2}).empty());
+  EXPECT_TRUE(path_edge_ids(g, {}).empty());
+}
+
+TEST(Graph, HopCount) {
+  EXPECT_EQ(hop_count({}), 0);
+  EXPECT_EQ(hop_count({7}), 0);
+  EXPECT_EQ(hop_count({1, 2, 3}), 2);
+}
+
+TEST(Graph, SimplifyWalkNoLoop) {
+  EXPECT_EQ(simplify_walk({0, 1, 2}), (Path{0, 1, 2}));
+  EXPECT_EQ(simplify_walk({5}), (Path{5}));
+}
+
+TEST(Graph, SimplifyWalkCutsSingleLoop) {
+  // 0-1-2-1-3 revisits 1; loop removed.
+  EXPECT_EQ(simplify_walk({0, 1, 2, 1, 3}), (Path{0, 1, 3}));
+}
+
+TEST(Graph, SimplifyWalkFullCollapse) {
+  // Out and back: collapses to the single start vertex.
+  EXPECT_EQ(simplify_walk({4, 5, 6, 5, 4}), (Path{4}));
+}
+
+TEST(Graph, SimplifyWalkNestedLoops) {
+  // 0 1 2 3 1 4 2 5: visiting 1 again cuts (2,3); then 4; 2 again cuts 4.
+  const Path result = simplify_walk({0, 1, 2, 3, 1, 4, 2, 5});
+  // Result must be simple, start at 0, end at 5.
+  EXPECT_EQ(result.front(), 0);
+  EXPECT_EQ(result.back(), 5);
+  std::set<int> unique(result.begin(), result.end());
+  EXPECT_EQ(unique.size(), result.size());
+}
+
+TEST(Graph, SimplifyWalkReusableAfterCut) {
+  // After cutting a loop, a vertex dropped from the output may reappear.
+  const Path result = simplify_walk({0, 1, 2, 1, 2, 3});
+  EXPECT_EQ(result.front(), 0);
+  EXPECT_EQ(result.back(), 3);
+  std::set<int> unique(result.begin(), result.end());
+  EXPECT_EQ(unique.size(), result.size());
+}
+
+TEST(Graph, ConcatenateWalks) {
+  EXPECT_EQ(concatenate_walks({0, 1, 2}, {2, 3}), (Path{0, 1, 2, 3}));
+  EXPECT_EQ(concatenate_walks({4}, {4, 5}), (Path{4, 5}));
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,77 @@
+#include "oblivious/hop_constrained.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace sor {
+namespace {
+
+TEST(HopConstrained, RespectsDilationBound) {
+  Rng rng(1);
+  const Graph g = gen::path_of_cliques(6, 4);
+  for (int h : {1, 2, 4, 8}) {
+    HopConstrainedRouting routing(g, h);
+    for (int trial = 0; trial < 40; ++trial) {
+      const int s = rng.uniform_int(0, g.num_vertices() - 1);
+      int t = rng.uniform_int(0, g.num_vertices() - 1);
+      if (s == t) continue;
+      const Path p = routing.sample_path(s, t, rng);
+      EXPECT_TRUE(is_valid_path(g, p, s, t));
+      EXPECT_LE(hop_count(p), routing.dilation_bound(s, t));
+    }
+  }
+}
+
+TEST(HopConstrained, SmallBoundDegeneratesToShortestPaths) {
+  Rng rng(2);
+  const Graph g = gen::grid(4, 4);
+  ShortestPathSampler sampler(g);
+  HopConstrainedRouting routing(g, 1);
+  // h=1: the lens W is tiny; any sampled path is <= 2 * dist hops.
+  for (int trial = 0; trial < 30; ++trial) {
+    const int s = rng.uniform_int(0, 15);
+    int t = rng.uniform_int(0, 15);
+    if (s == t) continue;
+    const Path p = routing.sample_path(s, t, rng);
+    EXPECT_LE(hop_count(p), 2 * sampler.hop_distance(s, t));
+  }
+}
+
+TEST(HopConstrained, LargeBoundSpreadsLoad) {
+  // On a cycle, with h = n the router can use both directions; the edge
+  // usage should be spread rather than all clockwise.
+  const int n = 12;
+  Graph g(n);
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  HopConstrainedRouting routing(g, n);
+  Rng rng(3);
+  int long_way = 0;
+  const int draws = 300;
+  for (int i = 0; i < draws; ++i) {
+    const Path p = routing.sample_path(0, 3, rng);
+    if (hop_count(p) > 3) ++long_way;
+  }
+  EXPECT_GT(long_way, 10);          // sometimes takes the long side
+  EXPECT_LT(long_way, draws - 10);  // but not always
+}
+
+TEST(HopConstrained, SharedSamplerProducesSameDistances) {
+  const Graph g = gen::grid(3, 5);
+  auto sampler = std::make_shared<const ShortestPathSampler>(g);
+  HopConstrainedRouting a(g, 2, sampler);
+  HopConstrainedRouting b(g, 5, sampler);
+  EXPECT_EQ(a.hop_bound(), 2);
+  EXPECT_EQ(b.hop_bound(), 5);
+  EXPECT_EQ(a.dilation_bound(0, 14), 2 * std::max(2, 6));
+  EXPECT_EQ(b.dilation_bound(0, 14), 2 * std::max(5, 6));
+}
+
+TEST(HopConstrained, NameEncodesBound) {
+  const Graph g = gen::grid(2, 2);
+  HopConstrainedRouting routing(g, 7);
+  EXPECT_EQ(routing.name(), "hop-constrained(h=7)");
+}
+
+}  // namespace
+}  // namespace sor

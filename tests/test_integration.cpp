@@ -1,0 +1,148 @@
+// End-to-end pipelines exercising the full public API the way the paper's
+// experiments do: oblivious routing -> alpha-sample -> adaptive routing ->
+// (rounding) -> competitive ratio against the offline optimum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/completion_time.h"
+#include "core/lower_bound.h"
+#include "core/rounding.h"
+#include "core/semi_oblivious.h"
+#include "graph/generators.h"
+#include "oblivious/racke.h"
+#include "oblivious/shortest_path_routing.h"
+#include "oblivious/valiant.h"
+
+namespace sor {
+namespace {
+
+TEST(Integration, HypercubeValiantPipeline) {
+  const int dim = 5;
+  const Graph g = gen::hypercube(dim);
+  ValiantRouting routing(g, dim);
+  Rng rng(1);
+  const Demand d = gen::random_permutation_demand(g.num_vertices(), rng);
+  const PathSystem ps =
+      sample_path_system(routing, /*alpha=*/5, support_pairs(d), rng);
+  const auto fractional = route_fractional(g, ps, d);
+  const OptimalCongestion opt = optimal_congestion(g, d);
+  const double ratio = competitive_ratio(fractional, opt);
+  EXPECT_LE(ratio, 12.0);  // polylog with generous slack
+
+  auto integral = round_randomized(g, fractional, rng, 8);
+  local_search_improve(g, integral);
+  EXPECT_LE(integral.congestion,
+            2.0 * fractional.congestion +
+                3.0 * std::log(static_cast<double>(g.num_edges())));
+}
+
+TEST(Integration, RackeOnWanTopology) {
+  const Graph g = gen::abilene(4.0);
+  Rng rng(2);
+  RackeRouting routing(g, {.num_trees = 10}, rng);
+  const Demand d = gen::gravity_demand(g, 40.0, 30);
+  const PathSystem ps =
+      sample_path_system(routing, /*alpha=*/4, support_pairs(d), rng);
+  const auto solution = route_fractional(g, ps, d);
+  const OptimalCongestion opt = optimal_congestion(g, d);
+  EXPECT_LE(competitive_ratio(solution, opt), 6.0);
+}
+
+TEST(Integration, SparsityImprovesCompetitiveness) {
+  // The headline phenomenon: on the lower-bound gadget, alpha = 1 samples
+  // are much worse than alpha = 8 samples for the same demand ensemble.
+  const int n = 64;
+  const int k = 8;  // k = sqrt(64) for the alpha=1 construction
+  const Graph g = gen::lower_bound_gadget(n, k);
+  gen::GadgetLayout layout{n, k};
+  RandomShortestPathRouting routing(g);
+  Rng rng(3);
+
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < n; ++i) {
+    pairs.emplace_back(layout.left_leaf(i), layout.right_leaf(i));
+  }
+  Demand d;
+  for (const auto& [s, t] : pairs) d.set(s, t, 1.0);
+  const OptimalCongestion opt = optimal_congestion(g, d);
+
+  double ratio1 = 0.0;
+  double ratio8 = 0.0;
+  const int trials = 3;
+  for (int trial = 0; trial < trials; ++trial) {
+    const PathSystem ps1 = sample_path_system(routing, 1, pairs, rng);
+    const PathSystem ps8 = sample_path_system(routing, 8, pairs, rng);
+    ratio1 += competitive_ratio(route_fractional(g, ps1, d), opt) / trials;
+    ratio8 += competitive_ratio(route_fractional(g, ps8, d), opt) / trials;
+  }
+  EXPECT_GT(ratio1, ratio8 * 1.3)
+      << "alpha=1 should be clearly worse than alpha=8";
+}
+
+TEST(Integration, CompletionTimePipelineOnTrap) {
+  const Graph g = gen::dilation_trap(6, 3, 8.0);
+  Rng rng(4);
+  Demand d;
+  d.set(0, 1, 24.0);
+  const auto scales = geometric_hop_scales(g.num_vertices(), 2.0);
+  const PathSystem ps = sample_multi_scale_path_system(
+      g, 4, scales, support_pairs(d), rng);
+
+  // Congestion-only routing may use long paths freely; completion-time
+  // routing balances. Compare objectives under cong + dil.
+  const auto cong_only = route_fractional(g, ps, d);
+  const double cong_only_objective =
+      cong_only.congestion + static_cast<double>(cong_only.max_hops);
+  const auto balanced = route_completion_time(g, ps, d);
+  EXPECT_LE(balanced.objective, cong_only_objective + 1e-9);
+}
+
+TEST(Integration, StrideOnTorusBeatsDeterministicBaseline) {
+  // Structured stride permutations hurt the deterministic single shortest
+  // path on a torus (axis congestion); a 4-sample from the randomized
+  // shortest-path routing adapts around it.
+  const Graph g = gen::grid(8, 8, /*wrap=*/true);
+  Rng rng(6);
+  const Demand d = gen::stride_demand(g.num_vertices(), 27);
+  DeterministicShortestPathRouting det(g);
+  const double det_cong = estimate_congestion(det, d.commodities(), 1, rng);
+
+  RandomShortestPathRouting random_sp(g);
+  const PathSystem ps =
+      sample_path_system(random_sp, 4, support_pairs(d), rng);
+  const auto semi = route_fractional(g, ps, d);
+  EXPECT_LE(semi.congestion, det_cong + 1e-9);
+}
+
+TEST(Integration, AdversaryThenReroute) {
+  // The lower-bound demand hurts the sparse system it was built against,
+  // but a fresh, denser sample handles it fine: semi-obliviousness is about
+  // the path system, not the demand.
+  Rng rng(5);
+  const int n = 64;
+  const int alpha = 2;
+  const int k = gen::lower_bound_k(n, alpha);
+  const Graph g = gen::lower_bound_gadget(n, k);
+  gen::GadgetLayout layout{n, k};
+  RandomShortestPathRouting routing(g);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      pairs.emplace_back(layout.left_leaf(i), layout.right_leaf(j));
+    }
+  }
+  const PathSystem sparse = sample_path_system(routing, alpha, pairs, rng);
+  const auto adversary =
+      find_adversarial_demand(g, layout, sparse, alpha, k);
+  ASSERT_GT(adversary.matching_size, 0);
+
+  const auto hurt = route_fractional_exact(g, sparse, adversary.demand);
+  const PathSystem dense = sample_path_system(
+      routing, 4 * k, support_pairs(adversary.demand), rng);
+  const auto healed = route_fractional_exact(g, dense, adversary.demand);
+  EXPECT_LT(healed.congestion, hurt.congestion - 1e-9);
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,83 @@
+#include "graph/matching.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace sor {
+namespace {
+
+/// Brute-force maximum matching size via recursion (tiny instances).
+int brute_force_matching(const std::vector<std::vector<int>>& adj,
+                         int num_right, std::size_t l,
+                         std::vector<char>& used) {
+  if (l == adj.size()) return 0;
+  int best = brute_force_matching(adj, num_right, l + 1, used);  // skip l
+  for (int r : adj[l]) {
+    if (used[static_cast<std::size_t>(r)]) continue;
+    used[static_cast<std::size_t>(r)] = 1;
+    best = std::max(best,
+                    1 + brute_force_matching(adj, num_right, l + 1, used));
+    used[static_cast<std::size_t>(r)] = 0;
+  }
+  return best;
+}
+
+TEST(Matching, PerfectOnCompleteBipartite) {
+  const int n = 6;
+  std::vector<std::vector<int>> adj(n);
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) adj[static_cast<std::size_t>(l)].push_back(r);
+  }
+  EXPECT_EQ(max_matching_size(adj, n), n);
+}
+
+TEST(Matching, MatchingIsConsistent) {
+  std::vector<std::vector<int>> adj = {{0, 1}, {0}, {1, 2}};
+  const auto match = hopcroft_karp(adj, 3);
+  ASSERT_EQ(match.size(), 3u);
+  // Every assignment must be an actual edge and rights must be distinct.
+  std::vector<char> used(3, 0);
+  for (std::size_t l = 0; l < adj.size(); ++l) {
+    if (match[l] < 0) continue;
+    EXPECT_NE(std::find(adj[l].begin(), adj[l].end(), match[l]), adj[l].end());
+    EXPECT_FALSE(used[static_cast<std::size_t>(match[l])]);
+    used[static_cast<std::size_t>(match[l])] = 1;
+  }
+  EXPECT_EQ(max_matching_size(adj, 3), 3);
+}
+
+TEST(Matching, HallViolationLimitsMatching) {
+  // Three lefts all only like right 0.
+  std::vector<std::vector<int>> adj = {{0}, {0}, {0}};
+  EXPECT_EQ(max_matching_size(adj, 1), 1);
+}
+
+TEST(Matching, EmptyCases) {
+  EXPECT_EQ(max_matching_size({}, 5), 0);
+  EXPECT_EQ(max_matching_size({{}, {}}, 3), 0);
+}
+
+class MatchingRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchingRandomSweep, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 3);
+  const int nl = 7;
+  const int nr = 6;
+  std::vector<std::vector<int>> adj(nl);
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r < nr; ++r) {
+      if (rng.bernoulli(0.35)) adj[static_cast<std::size_t>(l)].push_back(r);
+    }
+  }
+  std::vector<char> used(static_cast<std::size_t>(nr), 0);
+  EXPECT_EQ(max_matching_size(adj, nr),
+            brute_force_matching(adj, nr, 0, used));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingRandomSweep, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace sor

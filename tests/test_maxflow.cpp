@@ -1,0 +1,119 @@
+#include "graph/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace sor {
+namespace {
+
+/// Brute-force s-t min cut by enumerating vertex subsets (tiny graphs).
+double brute_force_min_cut(const Graph& g, int s, int t) {
+  const int n = g.num_vertices();
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (!(mask & (1 << s)) || (mask & (1 << t))) continue;
+    std::vector<char> side(static_cast<std::size_t>(n), 0);
+    for (int v = 0; v < n; ++v) {
+      side[static_cast<std::size_t>(v)] = (mask >> v) & 1;
+    }
+    best = std::min(best, g.boundary_capacity(side));
+  }
+  return best;
+}
+
+TEST(MaxFlow, PathGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 2, 1.5);
+  g.add_edge(2, 3, 2.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 3), 1.5);  // bottleneck
+}
+
+TEST(MaxFlow, CompleteGraphUnitCut) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(cut_value(g, 0, 5), 5);  // degree cut
+}
+
+TEST(MaxFlow, TwoCliquesBridges) {
+  for (int bridges : {1, 2, 4}) {
+    const Graph g = gen::two_cliques(5, bridges);
+    EXPECT_EQ(cut_value(g, 4, 5 + 4), bridges);
+  }
+}
+
+TEST(MaxFlow, ParallelEdgesSumCapacities) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.5);
+  g.add_edge(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 1), 4.0);
+}
+
+TEST(MaxFlow, GadgetCuts) {
+  const int n = 10;
+  const int k = 5;
+  const Graph g = gen::lower_bound_gadget(n, k);
+  gen::GadgetLayout layout{n, k};
+  EXPECT_EQ(cut_value(g, layout.left_leaf(2), layout.right_leaf(7)), 1);
+  EXPECT_EQ(cut_value(g, layout.left_center(), layout.right_center()), k);
+  EXPECT_EQ(cut_value(g, layout.left_leaf(0), layout.left_leaf(1)), 1);
+  EXPECT_EQ(cut_value(g, layout.middle(0), layout.middle(1)), 2);
+}
+
+TEST(MaxFlow, SourceSideIsACut) {
+  Rng rng(12);
+  const Graph g = gen::erdos_renyi_connected(12, 0.3, rng);
+  std::vector<char> side;
+  const double value = min_cut(g, 0, 11, &side);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[11]);
+  EXPECT_NEAR(g.boundary_capacity(side), value, 1e-9);
+}
+
+TEST(MaxFlow, CutValueOfSamePairIsZero) {
+  const Graph g = gen::complete(3);
+  EXPECT_EQ(cut_value(g, 1, 1), 0);
+}
+
+TEST(MaxFlow, CutValuesBatch) {
+  const Graph g = gen::two_cliques(4, 2);
+  const auto cuts = cut_values(g, {{0, 4}, {3, 7}, {0, 1}});
+  EXPECT_EQ(cuts[0], 2);   // cross-clique: the two bridges separate
+  EXPECT_EQ(cuts[1], 2);
+  EXPECT_EQ(cuts[2], 4);   // within a clique: isolating vertex 0 (degree 4)
+}
+
+class MaxFlowRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxFlowRandomSweep, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Small random graph with random capacities; compare Dinic vs brute force
+  // on several pairs.
+  const int n = 7;
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(0.5)) {
+        g.add_edge(u, v, 0.5 + rng.uniform_double() * 3.0);
+      }
+    }
+  }
+  if (!g.is_connected()) {
+    for (int v = 0; v + 1 < n; ++v) {
+      if (g.edge_between(v, v + 1) < 0) g.add_edge(v, v + 1, 1.0);
+    }
+  }
+  for (auto [s, t] : {std::pair{0, 6}, std::pair{1, 5}, std::pair{2, 3}}) {
+    EXPECT_NEAR(max_flow(g, s, t), brute_force_min_cut(g, s, t), 1e-7)
+        << "pair (" << s << "," << t << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowRandomSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace sor

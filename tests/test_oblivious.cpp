@@ -1,0 +1,108 @@
+#include "oblivious/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/demand.h"
+#include "graph/generators.h"
+#include "oblivious/shortest_path_routing.h"
+#include "oblivious/valiant.h"
+
+namespace sor {
+namespace {
+
+TEST(Valiant, PathsAreValid) {
+  const int dim = 5;
+  const Graph g = gen::hypercube(dim);
+  ValiantRouting routing(g, dim);
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int s = rng.uniform_int(0, g.num_vertices() - 1);
+    int t = rng.uniform_int(0, g.num_vertices() - 1);
+    if (s == t) t = s ^ 1;
+    const Path p = routing.sample_path(s, t, rng);
+    EXPECT_TRUE(is_valid_path(g, p, s, t));
+    EXPECT_LE(hop_count(p), 2 * dim);  // two bit-fixing legs
+  }
+}
+
+TEST(Valiant, LowCongestionOnPermutations) {
+  // The VB81 guarantee: expected O(1) congestion per edge on permutation
+  // demands; allow generous slack for a Monte-Carlo estimate.
+  const int dim = 6;
+  const Graph g = gen::hypercube(dim);
+  ValiantRouting routing(g, dim);
+  Rng rng(2);
+  const Demand d = gen::random_permutation_demand(g.num_vertices(), rng);
+  const double congestion =
+      estimate_congestion(routing, d.commodities(), 32, rng);
+  EXPECT_LE(congestion, 8.0);
+}
+
+TEST(GreedyBitFix, DeterministicAndCorrect) {
+  const int dim = 4;
+  const Graph g = gen::hypercube(dim);
+  GreedyBitFixRouting routing(g, dim);
+  const Path p = routing.path(0b0000, 0b1010);
+  // Fix bits lowest-to-highest: 0000 -> 0010 -> 1010.
+  EXPECT_EQ(p, (Path{0b0000, 0b0010, 0b1010}));
+  Rng rng(3);
+  EXPECT_EQ(routing.sample_path(0b0000, 0b1010, rng), p);
+  EXPECT_EQ(hop_count(p), 2);  // Hamming distance
+}
+
+TEST(GreedyBitFix, SuffersOnBitReversal) {
+  // All bit-reversal traffic funnels through few edges: the congestion is
+  // Theta(sqrt(n)), far above the O(1) a randomized scheme achieves.
+  // Empirically greedy bit-fixing hits sqrt(n)/2 on bit reversal.
+  const int dim = 8;
+  const Graph g = gen::hypercube(dim);
+  GreedyBitFixRouting greedy(g, dim);
+  Rng rng(4);
+  const Demand d = gen::bit_reversal_demand(dim);
+  const double greedy_cong = estimate_congestion(greedy, d.commodities(), 1, rng);
+  EXPECT_GE(greedy_cong, 7.9);  // sqrt(256)/2 = 8
+
+  ValiantRouting valiant(g, dim);
+  const double valiant_cong =
+      estimate_congestion(valiant, d.commodities(), 16, rng);
+  EXPECT_LT(valiant_cong, greedy_cong);
+}
+
+TEST(RandomShortestPath, ValidAndShortest) {
+  Rng rng(5);
+  const Graph g = gen::grid(4, 5);
+  RandomShortestPathRouting routing(g);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int s = rng.uniform_int(0, g.num_vertices() - 1);
+    int t = rng.uniform_int(0, g.num_vertices() - 1);
+    if (s == t) continue;
+    const Path p = routing.sample_path(s, t, rng);
+    EXPECT_TRUE(is_valid_path(g, p, s, t));
+    EXPECT_EQ(hop_count(p), routing.sampler().hop_distance(s, t));
+  }
+}
+
+TEST(DeterministicShortestPath, StableAcrossCalls) {
+  const Graph g = gen::grid(3, 4);
+  DeterministicShortestPathRouting routing(g);
+  Rng rng(6);
+  const Path a = routing.sample_path(0, 11, rng);
+  const Path b = routing.sample_path(0, 11, rng);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EstimateLoads, MatchesDeterministicRouting) {
+  // For a deterministic routing the estimate is exact regardless of samples.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  DeterministicShortestPathRouting routing(g);
+  Rng rng(7);
+  const std::vector<Commodity> demand = {{0, 2, 2.0}};
+  const auto loads = estimate_edge_loads(routing, demand, 4, rng);
+  EXPECT_DOUBLE_EQ(loads[0], 2.0);
+  EXPECT_DOUBLE_EQ(loads[1], 2.0);
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,156 @@
+#include "core/rounding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "oblivious/shortest_path_routing.h"
+#include "oblivious/valiant.h"
+
+namespace sor {
+namespace {
+
+SemiObliviousSolution routed_instance(const Graph& g,
+                                      const ObliviousRouting& routing,
+                                      const Demand& d, int alpha, Rng& rng) {
+  const PathSystem ps =
+      sample_path_system(routing, alpha, support_pairs(d), rng);
+  return route_fractional(g, ps, d);
+}
+
+TEST(Rounding, ChoicesMatchDemandUnits) {
+  const Graph g = gen::grid(3, 4);
+  RandomShortestPathRouting routing(g);
+  Rng rng(1);
+  Demand d;
+  d.set(0, 11, 3.0);
+  d.set(2, 9, 1.0);
+  const auto fractional = routed_instance(g, routing, d, 3, rng);
+  const auto integral = round_randomized(g, fractional, rng, 4);
+  ASSERT_EQ(integral.choices.size(), 2u);
+  EXPECT_EQ(integral.choices[0].size(), 3u);
+  EXPECT_EQ(integral.choices[1].size(), 1u);
+  for (std::size_t j = 0; j < integral.choices.size(); ++j) {
+    for (int idx : integral.choices[j]) {
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, static_cast<int>(integral.paths[j].size()));
+    }
+  }
+}
+
+TEST(Rounding, CongestionIsConsistent) {
+  const Graph g = gen::grid(4, 4);
+  RandomShortestPathRouting routing(g);
+  Rng rng(2);
+  const Demand d = gen::random_permutation_demand(16, rng);
+  const auto fractional = routed_instance(g, routing, d, 4, rng);
+  auto integral = round_randomized(g, fractional, rng, 4);
+  const double reported = integral.congestion;
+  EXPECT_DOUBLE_EQ(integral_congestion(g, integral), reported);
+}
+
+class RoundingLemmaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundingLemmaSweep, SatisfiesLemma63Bound) {
+  // Lemma 6.3: an integral routing with congestion <= 2*cong + 3 ln m
+  // exists on the support; the best of a few random roundings finds one
+  // with overwhelming probability on these sizes.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 5);
+  const int dim = 4;
+  const Graph g = gen::hypercube(dim);
+  ValiantRouting routing(g, dim);
+  const Demand d = gen::random_permutation_demand(g.num_vertices(), rng);
+  const auto fractional = routed_instance(g, routing, d, 4, rng);
+  const auto integral = round_randomized(g, fractional, rng, 16);
+  const double bound = 2.0 * fractional.congestion +
+                       3.0 * std::log(static_cast<double>(g.num_edges()));
+  EXPECT_LE(integral.congestion, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundingLemmaSweep, ::testing::Range(0, 10));
+
+TEST(Rounding, LocalSearchNeverHurts) {
+  const Graph g = gen::grid(4, 4);
+  RandomShortestPathRouting routing(g);
+  Rng rng(3);
+  const Demand d = gen::random_permutation_demand(16, rng);
+  const auto fractional = routed_instance(g, routing, d, 4, rng);
+  auto integral = round_randomized(g, fractional, rng, 1);
+  const double before = integral.congestion;
+  local_search_improve(g, integral);
+  EXPECT_LE(integral.congestion, before + 1e-12);
+  // The improved assignment is still consistent.
+  const double stored = integral.congestion;
+  EXPECT_DOUBLE_EQ(integral_congestion(g, integral), stored);
+}
+
+TEST(Rounding, ExactBranchAndBoundOnDiamond) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const std::vector<Commodity> demand = {{0, 3, 2.0}};
+  const std::vector<std::vector<Path>> paths = {{{0, 1, 3}, {0, 2, 3}}};
+  // Two units over two disjoint paths: optimum 1.
+  EXPECT_DOUBLE_EQ(exact_integral_congestion(g, demand, paths), 1.0);
+}
+
+TEST(Rounding, ExactHandlesForcedCollision) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const std::vector<Commodity> demand = {{0, 2, 3.0}};
+  const std::vector<std::vector<Path>> paths = {{{0, 1, 2}}};
+  EXPECT_DOUBLE_EQ(exact_integral_congestion(g, demand, paths), 3.0);
+  EXPECT_DOUBLE_EQ(exact_integral_congestion(g, {}, {}), 0.0);
+}
+
+class ExactVsHeuristicSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactVsHeuristicSweep, LocalSearchNearExactOptimum) {
+  // On tiny instances, rounding + local search should land within a small
+  // factor of the exact integral optimum (and never below it).
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 7);
+  const Graph g = gen::grid(3, 3);
+  RandomShortestPathRouting routing(g);
+  const Demand d = gen::random_pairs_demand(9, 3, rng, 1.0);
+  if (d.empty()) return;
+  const PathSystem ps =
+      sample_path_system(routing, 3, support_pairs(d), rng);
+  const auto fractional = route_fractional(g, ps, d);
+  auto integral = round_randomized(g, fractional, rng, 8);
+  local_search_improve(g, integral);
+
+  const auto commodities = d.commodities();
+  std::vector<std::vector<Path>> paths;
+  for (const Commodity& c : commodities) paths.push_back(ps.paths(c.s, c.t));
+  const double exact = exact_integral_congestion(g, commodities, paths);
+  EXPECT_GE(integral.congestion, exact - 1e-9);
+  EXPECT_LE(integral.congestion, exact * 2.0 + 1e-9);
+  // The fractional relaxation lower-bounds the integral optimum.
+  EXPECT_LE(fractional.lower_bound, exact + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsHeuristicSweep, ::testing::Range(0, 8));
+
+TEST(Rounding, LocalSearchFindsObviousImprovement) {
+  // Diamond with both units on one path; local search moves one across.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  IntegralSolution solution;
+  solution.commodities = {{0, 3, 2.0}};
+  solution.paths = {{{0, 1, 3}, {0, 2, 3}}};
+  solution.choices = {{0, 0}};
+  integral_congestion(g, solution);
+  EXPECT_DOUBLE_EQ(solution.congestion, 2.0);
+  local_search_improve(g, solution);
+  EXPECT_DOUBLE_EQ(solution.congestion, 1.0);
+}
+
+}  // namespace
+}  // namespace sor

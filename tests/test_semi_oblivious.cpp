@@ -1,0 +1,148 @@
+#include "core/semi_oblivious.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "oblivious/shortest_path_routing.h"
+#include "oblivious/valiant.h"
+
+namespace sor {
+namespace {
+
+TEST(SemiOblivious, SinglePairSinglePath) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  PathSystem ps(3);
+  ps.add_path(0, 2, {0, 1, 2});
+  Demand d;
+  d.set(0, 2, 3.0);
+  const auto solution = route_fractional(g, ps, d);
+  EXPECT_NEAR(solution.congestion, 3.0, 1e-9);
+  EXPECT_EQ(solution.max_hops, 2);
+}
+
+TEST(SemiOblivious, WeightsAreAFeasibleRouting) {
+  const Graph g = gen::grid(3, 4);
+  RandomShortestPathRouting routing(g);
+  Rng rng(1);
+  Demand d;
+  d.set(0, 11, 2.0);
+  d.set(3, 8, 1.5);
+  const PathSystem ps =
+      sample_path_system(routing, 4, support_pairs(d), rng);
+  const auto solution = route_fractional(g, ps, d);
+  ASSERT_EQ(solution.commodities.size(), 2u);
+  for (std::size_t j = 0; j < solution.commodities.size(); ++j) {
+    double sum = 0.0;
+    for (double w : solution.weights[j]) {
+      EXPECT_GE(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, solution.commodities[j].amount, 1e-9);
+  }
+}
+
+TEST(SemiOblivious, ExactMatchesMwuOnDiamond) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  PathSystem ps(4);
+  ps.add_path(0, 3, {0, 1, 3});
+  ps.add_path(0, 3, {0, 2, 3});
+  Demand d;
+  d.set(0, 3, 2.0);
+  const auto exact = route_fractional_exact(g, ps, d);
+  EXPECT_NEAR(exact.congestion, 1.0, 1e-6);
+  MinCongestionOptions options;
+  options.rounds = 1500;
+  const auto mwu = route_fractional(g, ps, d, options);
+  EXPECT_NEAR(mwu.congestion, exact.congestion, 0.08);
+  EXPECT_LE(mwu.lower_bound, exact.congestion + 1e-6);
+}
+
+TEST(SemiOblivious, OptimalCongestionSandwich) {
+  // Two cliques joined by b bridges; a single unit crossing has optimal
+  // congestion 1/b.
+  const int b = 4;
+  const Graph g = gen::two_cliques(6, b);
+  Demand d;
+  d.set(3, 6 + 3, 1.0);
+  const OptimalCongestion opt = optimal_congestion(g, d);
+  EXPECT_LE(opt.lower, 1.0 / b + 1e-6);
+  EXPECT_GE(opt.upper, 1.0 / b - 1e-6);
+  EXPECT_LE(opt.upper, 1.3 / b);  // MWU should come close
+  EXPECT_LE(opt.lower, opt.upper + 1e-12);
+}
+
+TEST(SemiOblivious, CompetitiveRatioAgainstOptimal) {
+  const int dim = 4;
+  const Graph g = gen::hypercube(dim);
+  ValiantRouting routing(g, dim);
+  Rng rng(2);
+  const Demand d = gen::random_permutation_demand(g.num_vertices(), rng);
+  const PathSystem ps =
+      sample_path_system(routing, 6, support_pairs(d), rng);
+  const auto solution = route_fractional(g, ps, d);
+  const OptimalCongestion opt = optimal_congestion(g, d);
+  const double ratio = competitive_ratio(solution, opt);
+  EXPECT_GE(ratio, 0.9);   // cannot beat the optimum (allow solver noise)
+  EXPECT_LE(ratio, 12.0);  // polylog for alpha ~ log n, generous slack
+}
+
+TEST(SemiOblivious, EmptyDemand) {
+  const Graph g = gen::complete(3);
+  const OptimalCongestion opt = optimal_congestion(g, Demand{});
+  EXPECT_DOUBLE_EQ(opt.upper, 0.0);
+  const auto solution = route_fractional(g, PathSystem(3), Demand{});
+  EXPECT_DOUBLE_EQ(solution.congestion, 0.0);
+}
+
+TEST(SemiOblivious, MaxHopsTracksUsedPathsOnly) {
+  // Commodity (0,3) has a direct edge and a 2-hop alternative through
+  // (1,2), but (1,2) is pinned at load 10 by another commodity, so the
+  // optimum leaves the alternative untouched and max_hops counts only the
+  // direct edge.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);  // direct edge
+  PathSystem ps(4);
+  ps.add_path(0, 3, {0, 3});
+  ps.add_path(0, 3, {0, 1, 2, 3});
+  ps.add_path(1, 2, {1, 2});
+  Demand d;
+  d.set(0, 3, 0.5);
+  d.set(1, 2, 10.0);
+  const auto exact = route_fractional_exact(g, ps, d);
+  EXPECT_NEAR(exact.congestion, 10.0, 1e-6);
+  EXPECT_EQ(exact.max_hops, 1);
+}
+
+class SemiObliviousExactVsMwuSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemiObliviousExactVsMwuSweep, AgreeOnRandomInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 11);
+  const Graph g = gen::erdos_renyi_connected(10, 0.35, rng);
+  RandomShortestPathRouting routing(g);
+  const Demand d = gen::random_pairs_demand(10, 4, rng, 1.0);
+  if (d.empty()) return;
+  const PathSystem ps =
+      sample_path_system(routing, 3, support_pairs(d), rng);
+  const auto exact = route_fractional_exact(g, ps, d);
+  MinCongestionOptions options;
+  options.rounds = 2500;
+  options.target_gap = 1.01;
+  const auto mwu = route_fractional(g, ps, d, options);
+  EXPECT_GE(mwu.congestion, exact.congestion - 1e-6);
+  EXPECT_LE(mwu.congestion, exact.congestion * 1.1 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemiObliviousExactVsMwuSweep,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sor

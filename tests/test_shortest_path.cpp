@@ -1,0 +1,119 @@
+#include "graph/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.h"
+
+namespace sor {
+namespace {
+
+TEST(ShortestPath, BfsOnPathGraph) {
+  Graph g(5);
+  for (int v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+  const auto dist = bfs_distances(g, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+}
+
+TEST(ShortestPath, BfsUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(ShortestPath, AllPairsSymmetric) {
+  Rng rng(1);
+  const Graph g = gen::erdos_renyi_connected(25, 0.15, rng);
+  const auto dist = all_pairs_hop_distances(g);
+  for (int u = 0; u < 25; ++u) {
+    for (int v = 0; v < 25; ++v) {
+      EXPECT_EQ(dist[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)],
+                dist[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)]);
+    }
+    EXPECT_EQ(dist[static_cast<std::size_t>(u)][static_cast<std::size_t>(u)], 0);
+  }
+}
+
+TEST(ShortestPath, DijkstraMatchesBfsOnUnitLengths) {
+  const Graph g = gen::hypercube(4);
+  const std::vector<double> unit(static_cast<std::size_t>(g.num_edges()), 1.0);
+  const auto dd = dijkstra(g, 3, unit);
+  const auto bd = bfs_distances(g, 3);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(dd[static_cast<std::size_t>(v)],
+                     static_cast<double>(bd[static_cast<std::size_t>(v)]));
+  }
+}
+
+TEST(ShortestPath, DijkstraPrefersLightDetour) {
+  // 0-1 heavy direct edge vs 0-2-1 light detour.
+  Graph g(3);
+  const int direct = g.add_edge(0, 1);
+  const int leg1 = g.add_edge(0, 2);
+  const int leg2 = g.add_edge(2, 1);
+  std::vector<double> len(3, 0.0);
+  len[static_cast<std::size_t>(direct)] = 10.0;
+  len[static_cast<std::size_t>(leg1)] = 1.0;
+  len[static_cast<std::size_t>(leg2)] = 2.0;
+  const auto dist = dijkstra(g, 0, len);
+  EXPECT_DOUBLE_EQ(dist[1], 3.0);
+  EXPECT_EQ(shortest_path(g, 0, 1, len), (Path{0, 2, 1}));
+}
+
+TEST(ShortestPath, ShortestPathHopsIsValidAndTight) {
+  const Graph g = gen::grid(4, 4);
+  const Path p = shortest_path_hops(g, 0, 15);
+  EXPECT_TRUE(is_valid_path(g, p, 0, 15));
+  EXPECT_EQ(hop_count(p), 6);  // Manhattan distance in the grid
+}
+
+TEST(ShortestPathSampler, SamplesAreShortestPaths) {
+  const Graph g = gen::hypercube(4);
+  ShortestPathSampler sampler(g);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int s = rng.uniform_int(0, 15);
+    int t = rng.uniform_int(0, 15);
+    if (s == t) t = s ^ 1;
+    const Path p = sampler.sample(s, t, rng);
+    EXPECT_TRUE(is_valid_path(g, p, s, t));
+    EXPECT_EQ(hop_count(p), sampler.hop_distance(s, t));
+  }
+}
+
+TEST(ShortestPathSampler, DeterministicIsStable) {
+  const Graph g = gen::grid(3, 3);
+  ShortestPathSampler sampler(g);
+  const Path a = sampler.deterministic(0, 8);
+  const Path b = sampler.deterministic(0, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(is_valid_path(g, a, 0, 8));
+}
+
+TEST(ShortestPathSampler, UniformOverGadgetMiddles) {
+  // On C(n, k), a random shortest leaf-to-leaf path picks the middle vertex
+  // uniformly; check rough uniformity.
+  const int n = 8;
+  const int k = 4;
+  const Graph g = gen::lower_bound_gadget(n, k);
+  gen::GadgetLayout layout{n, k};
+  ShortestPathSampler sampler(g);
+  Rng rng(6);
+  std::map<int, int> middle_count;
+  const int draws = 4000;
+  for (int i = 0; i < draws; ++i) {
+    const Path p =
+        sampler.sample(layout.left_leaf(0), layout.right_leaf(0), rng);
+    ASSERT_EQ(hop_count(p), 4);
+    ++middle_count[p[2]];  // s, v1, middle, v2, t
+  }
+  ASSERT_EQ(static_cast<int>(middle_count.size()), k);
+  for (const auto& [mid, count] : middle_count) {
+    EXPECT_NEAR(static_cast<double>(count) / draws, 1.0 / k, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace sor

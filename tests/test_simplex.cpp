@@ -1,0 +1,105 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace sor {
+namespace {
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> optimum (4, 0), 12.
+  LinearProgram lp;
+  lp.objective = {-3.0, -2.0};
+  lp.add_constraint({1.0, 1.0}, Relation::kLessEqual, 4.0);
+  lp.add_constraint({1.0, 3.0}, Relation::kLessEqual, 6.0);
+  const auto sol = solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -12.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + 2y s.t. x + y = 3, x <= 2 -> x=2, y=1, objective 4.
+  LinearProgram lp;
+  lp.objective = {1.0, 2.0};
+  lp.add_constraint({1.0, 1.0}, Relation::kEqual, 3.0);
+  lp.add_constraint({1.0, 0.0}, Relation::kLessEqual, 2.0);
+  const auto sol = solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x - y >= -2  -> best at (1, 3)? Check:
+  // objective decreases with y only if ... optimum is x=4,y=0 -> 8? No:
+  // 2x+3y with x+y>=4: cheapest unit is x, so x=4, y=0, obj=8; second
+  // constraint 4 - 0 >= -2 holds.
+  LinearProgram lp;
+  lp.objective = {2.0, 3.0};
+  lp.add_constraint({1.0, 1.0}, Relation::kGreaterEqual, 4.0);
+  lp.add_constraint({1.0, -1.0}, Relation::kGreaterEqual, -2.0);
+  const auto sol = solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.add_constraint({1.0}, Relation::kLessEqual, 1.0);
+  lp.add_constraint({1.0}, Relation::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with only x >= 0: unbounded below.
+  LinearProgram lp;
+  lp.objective = {-1.0, 0.0};
+  lp.add_constraint({0.0, 1.0}, Relation::kLessEqual, 1.0);
+  EXPECT_EQ(solve(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, DegenerateVertexHandled) {
+  // Redundant constraints meeting at the same vertex (Bland protects).
+  LinearProgram lp;
+  lp.objective = {-1.0, -1.0};
+  lp.add_constraint({1.0, 0.0}, Relation::kLessEqual, 1.0);
+  lp.add_constraint({0.0, 1.0}, Relation::kLessEqual, 1.0);
+  lp.add_constraint({1.0, 1.0}, Relation::kLessEqual, 2.0);
+  lp.add_constraint({2.0, 2.0}, Relation::kLessEqual, 4.0);
+  const auto sol = solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.add_constraint({-1.0}, Relation::kLessEqual, -3.0);
+  const auto sol = solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, MinMaxCongestionToyInstance) {
+  // Two commodities, each splitting between a shared edge and a private
+  // edge: min t s.t. w1a + w1b = 1, w2a + w2b = 1, shared w1a + w2a <= t,
+  // privates w1b <= t, w2b <= t. By symmetry w1a = w2a = x: minimize
+  // max(2x, 1-x) -> x = 1/3, t = 2/3.
+  LinearProgram lp;
+  lp.objective = {0.0, 0.0, 0.0, 0.0, 1.0};  // w1a w1b w2a w2b t
+  lp.add_constraint({1.0, 1.0, 0.0, 0.0, 0.0}, Relation::kEqual, 1.0);
+  lp.add_constraint({0.0, 0.0, 1.0, 1.0, 0.0}, Relation::kEqual, 1.0);
+  lp.add_constraint({1.0, 0.0, 1.0, 0.0, -1.0}, Relation::kLessEqual, 0.0);
+  lp.add_constraint({0.0, 1.0, 0.0, 0.0, -1.0}, Relation::kLessEqual, 0.0);
+  lp.add_constraint({0.0, 0.0, 0.0, 1.0, -1.0}, Relation::kLessEqual, 0.0);
+  const auto sol = solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0 / 3.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace sor

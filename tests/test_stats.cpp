@@ -1,0 +1,52 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sor {
+namespace {
+
+TEST(Stats, MeanOfKnownSample) {
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+}
+
+TEST(Stats, StddevOfKnownSample) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev({42.0}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_NEAR(quantile(xs, 1.0 / 3.0), 2.0, 1e-12);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(Stats, SummarizeConsistency) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.mean, 31.0 / 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_GE(s.p90, s.median);
+  EXPECT_LE(s.p90, s.max);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sor

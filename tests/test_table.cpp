@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sor {
+namespace {
+
+TEST(Table, AlignsColumnsAndFormatsNumbers) {
+  Table table({"name", "count", "ratio"});
+  table.row().cell("alpha").cell(4).cell(1.5, 2);
+  table.row().cell("long-name-entry").cell(std::size_t{12}).cell(0.333333, 3);
+  std::stringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name-entry"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("0.333"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  int lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(Table, ColumnsLineUpVertically) {
+  Table table({"a", "b"});
+  table.row().cell("x").cell("yy");
+  table.row().cell("xxxx").cell("y");
+  std::stringstream out;
+  table.print(out);
+  std::string text = out.str();
+  // Find the column position of "b" in the header and of "yy"/"y" in rows:
+  // all must start at the same offset.
+  std::stringstream lines(text);
+  std::string header;
+  std::string sep;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find('b'), row1.find("yy"));
+  EXPECT_EQ(header.find('b'), row2.find('y'));
+}
+
+TEST(Table, NumRows) {
+  Table table({"h"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.row().cell(1);
+  table.row().cell(2);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace sor
