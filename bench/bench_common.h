@@ -6,18 +6,14 @@
 #pragma once
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "api/sor_engine.h"
 #include "core/demand.h"
 #include "core/path_system.h"
 #include "core/semi_oblivious.h"
 #include "graph/generators.h"
-#include "oblivious/racke.h"
-#include "oblivious/routing.h"
-#include "oblivious/shortest_path_routing.h"
-#include "oblivious/valiant.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -28,42 +24,35 @@ inline void banner(const char* id, const char* claim) {
   std::printf("==== %s ====\n%s\n\n", id, claim);
 }
 
-/// A named test topology plus a matching oblivious routing. The graph lives
-/// behind a unique_ptr so that the routing's internal pointer to it stays
-/// valid when the Instance is moved (e.g. into a vector).
+/// A named test topology plus a matching oblivious substrate, both owned by
+/// a SorEngine built through the backend registry.
 struct Instance {
   std::string name;
-  std::unique_ptr<Graph> graph_owner;
-  std::unique_ptr<ObliviousRouting> routing;
+  SorEngine engine;
 
-  const Graph& graph() const { return *graph_owner; }
+  const Graph& graph() const { return engine.graph(); }
+  const ObliviousRouting& routing() const { return engine.backend(); }
 };
 
-inline Instance make_hypercube(int dim) {
-  Instance inst;
-  inst.name = "hypercube(d=" + std::to_string(dim) + ")";
-  inst.graph_owner = std::make_unique<Graph>(gen::hypercube(dim));
-  inst.routing = std::make_unique<ValiantRouting>(*inst.graph_owner, dim);
-  return inst;
+inline Instance make_hypercube(int dim, std::uint64_t seed = 1) {
+  return {"hypercube(d=" + std::to_string(dim) + ")",
+          SorEngine::build(gen::hypercube(dim), "valiant", seed)};
 }
 
 inline Instance make_expander(int n, int degree, Rng& rng, int num_trees = 10) {
-  Instance inst;
-  inst.name = "expander(n=" + std::to_string(n) + ",d=" +
-              std::to_string(degree) + ")";
-  inst.graph_owner = std::make_unique<Graph>(gen::random_regular(n, degree, rng));
-  inst.routing = std::make_unique<RackeRouting>(
-      *inst.graph_owner, RackeOptions{.num_trees = num_trees, .eta = 6.0}, rng);
-  return inst;
+  Graph g = gen::random_regular(n, degree, rng);
+  return {"expander(n=" + std::to_string(n) + ",d=" + std::to_string(degree) +
+              ")",
+          SorEngine::build(std::move(g),
+                           "racke:num_trees=" + std::to_string(num_trees),
+                           rng.next())};
 }
 
 inline Instance make_torus(int side, Rng& rng, int num_trees = 10) {
-  Instance inst;
-  inst.name = "torus(" + std::to_string(side) + "x" + std::to_string(side) + ")";
-  inst.graph_owner = std::make_unique<Graph>(gen::grid(side, side, /*wrap=*/true));
-  inst.routing = std::make_unique<RackeRouting>(
-      *inst.graph_owner, RackeOptions{.num_trees = num_trees, .eta = 6.0}, rng);
-  return inst;
+  return {"torus(" + std::to_string(side) + "x" + std::to_string(side) + ")",
+          SorEngine::build(gen::grid(side, side, /*wrap=*/true),
+                           "racke:num_trees=" + std::to_string(num_trees),
+                           rng.next())};
 }
 
 /// Max and mean semi-oblivious competitive ratio of alpha-samples over an

@@ -28,7 +28,8 @@ void run() {
       if (k < 2) continue;  // bound is trivial below 2 middles
       const Graph g = gen::lower_bound_gadget(n, k);
       const gen::GadgetLayout layout{n, k};
-      RandomShortestPathRouting routing(g);
+      const auto routing =
+          BackendRegistry::instance().make(g, "shortest_path", rng);
       std::vector<std::pair<int, int>> pairs;
       pairs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
       for (int i = 0; i < n; ++i) {
@@ -36,7 +37,7 @@ void run() {
           pairs.emplace_back(layout.left_leaf(i), layout.right_leaf(j));
         }
       }
-      const PathSystem ps = sample_path_system(routing, alpha, pairs, rng);
+      const PathSystem ps = sample_path_system(*routing, alpha, pairs, rng);
       const auto adversary =
           find_adversarial_demand(g, layout, ps, alpha, k);
       if (adversary.matching_size == 0) continue;

@@ -1,11 +1,12 @@
 // Experiment M1 — substrate micro-benchmarks (google-benchmark).
 //
 // Throughput of the building blocks: Dinic max-flow, all-pairs BFS,
-// FRT tree construction, Racke routing construction, path sampling, and
-// the MWU min-congestion solver. These are the knobs that determine how
-// far the experiment harnesses scale.
+// FRT tree construction, backend construction through the registry, path
+// sampling, and the staged SorEngine route. These are the knobs that
+// determine how far the experiment harnesses scale.
 #include <benchmark/benchmark.h>
 
+#include "api/sor_engine.h"
 #include "core/demand.h"
 #include "core/path_system.h"
 #include "core/semi_oblivious.h"
@@ -13,8 +14,6 @@
 #include "graph/maxflow.h"
 #include "graph/shortest_path.h"
 #include "oblivious/frt.h"
-#include "oblivious/racke.h"
-#include "oblivious/valiant.h"
 
 namespace {
 
@@ -62,9 +61,11 @@ void BM_RackeConstruction(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(4);
   const Graph g = gen::random_regular(n, 6, rng);
+  const auto& registry = BackendRegistry::instance();
+  const BackendSpec spec = BackendSpec::parse("racke:num_trees=8");
   for (auto _ : state) {
-    RackeRouting routing(g, {.num_trees = 8}, rng);
-    benchmark::DoNotOptimize(routing.num_trees());
+    auto routing = registry.make(g, spec, rng);
+    benchmark::DoNotOptimize(routing.get());
   }
 }
 BENCHMARK(BM_RackeConstruction)->Arg(64)->Arg(128);
@@ -72,32 +73,35 @@ BENCHMARK(BM_RackeConstruction)->Arg(64)->Arg(128);
 void BM_ValiantPathSampling(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));
   const Graph g = gen::hypercube(dim);
-  ValiantRouting routing(g, dim);
   Rng rng(5);
+  const auto routing = BackendRegistry::instance().make(g, "valiant", rng);
   const int n = g.num_vertices();
   for (auto _ : state) {
     const int s = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
     int t = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
     if (s == t) t = s ^ 1;
-    benchmark::DoNotOptimize(routing.sample_path(s, t, rng));
+    benchmark::DoNotOptimize(routing->sample_path(s, t, rng));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ValiantPathSampling)->Arg(8)->Arg(12);
 
 void BM_MwuRestrictedSolve(benchmark::State& state) {
+  // Stage 3 throughput through the facade: many revealed demands routed
+  // over one frozen PathSystem.
   const int dim = static_cast<int>(state.range(0));
-  const Graph g = gen::hypercube(dim);
-  ValiantRouting routing(g, dim);
+  SorEngine engine = SorEngine::build(gen::hypercube(dim), "valiant", 6);
   Rng rng(6);
-  const Demand d = gen::random_permutation_demand(g.num_vertices(), rng);
-  const PathSystem ps =
-      sample_path_system(routing, 4, support_pairs(d), rng);
-  MinCongestionOptions options;
-  options.rounds = 200;
-  options.target_gap = 1.0;  // force full rounds for stable timing
+  const Demand d =
+      gen::random_permutation_demand(engine.graph().num_vertices(), rng);
+  engine.install_paths(SamplingSpec::for_demand(d, /*alpha=*/4));
+  RouteSpec spec;
+  spec.mwu.rounds = 200;
+  spec.mwu.target_gap = 1.0;  // force full rounds for stable timing
+  spec.compute_optimum = false;
+  spec.compute_lower_bound = false;  // time the MWU solve alone
   for (auto _ : state) {
-    benchmark::DoNotOptimize(route_fractional(g, ps, d, options).congestion);
+    benchmark::DoNotOptimize(engine.route(d, spec).congestion);
   }
 }
 BENCHMARK(BM_MwuRestrictedSolve)->Arg(6)->Arg(8);

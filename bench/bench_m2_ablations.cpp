@@ -43,12 +43,15 @@ void racke_ablation() {
       std::vector<double> cell;
       for (double eta : {0.0, 6.0}) {
         Rng build_rng(1234);  // same randomness for both etas
-        RackeRouting routing(cs.graph, {.num_trees = trees, .eta = eta},
-                             build_rng);
+        BackendSpec spec{.name = "racke",
+                         .params = {{"num_trees", static_cast<double>(trees)},
+                                    {"eta", eta}}};
+        const auto routing =
+            BackendRegistry::instance().make(cs.graph, spec, build_rng);
         double worst = 0.0;
         for (std::size_t i = 0; i < demands.size(); ++i) {
           const double cong = estimate_congestion(
-              routing, demands[i].commodities(), 24, build_rng);
+              *routing, demands[i].commodities(), 24, build_rng);
           worst = std::max(worst, cong / opt_lb[i]);
         }
         cell.push_back(worst);
@@ -64,9 +67,9 @@ void racke_ablation() {
 void mwu_ablation(Rng& rng) {
   std::printf("-- (b) MWU solver: rounds -> certified gap (cong / dual lb) --\n");
   const Graph g = gen::hypercube(6);
-  ValiantRouting valiant(g, 6);
+  const auto valiant = BackendRegistry::instance().make(g, "valiant", rng);
   const Demand d = gen::random_permutation_demand(g.num_vertices(), rng);
-  const PathSystem ps = sample_path_system(valiant, 4, support_pairs(d), rng);
+  const PathSystem ps = sample_path_system(*valiant, 4, support_pairs(d), rng);
 
   Table table({"rounds", "congestion", "dual lb", "certified gap"});
   for (int rounds : {25, 50, 100, 200, 400, 800, 1600}) {

@@ -17,7 +17,7 @@ namespace {
 
 using namespace sor;
 
-void run_instance(const bench::Instance& inst, Rng& rng) {
+void run_instance(bench::Instance& inst, Rng& rng) {
   std::printf("-- %s: %d vertices, %d edges --\n", inst.name.c_str(),
               inst.graph().num_vertices(), inst.graph().num_edges());
   const int n = inst.graph().num_vertices();
@@ -44,16 +44,18 @@ void run_instance(const bench::Instance& inst, Rng& rng) {
 
   Table table({"alpha", "mean ratio", "max ratio", "sparsity"});
   for (int alpha : {1, 2, 3, 4, 6, 8, 12, 16}) {
-    const PathSystem ps =
-        sample_path_system(*inst.routing, alpha, pairs, rng);
+    // One frozen path system per alpha, reused across the whole ensemble.
+    const PathSystem& ps =
+        inst.engine.install_paths({.alpha = alpha, .pairs = pairs});
     std::vector<double> ratios;
     for (int i = 0; i < num_demands; ++i) {
-      MinCongestionOptions options;
-      options.rounds = 400;
-      const auto routed =
-          route_fractional(inst.graph(), ps, demands[static_cast<std::size_t>(i)],
-                           options);
-      ratios.push_back(routed.congestion /
+      RouteSpec spec;
+      spec.mwu.rounds = 400;
+      spec.compute_optimum = false;
+      spec.compute_lower_bound = false;  // opt_lb[] is the denominator
+      const auto report =
+          inst.engine.route(demands[static_cast<std::size_t>(i)], spec);
+      ratios.push_back(report.congestion /
                        opt_lb[static_cast<std::size_t>(i)]);
     }
     const Summary s = summarize(ratios);
@@ -78,8 +80,7 @@ void run_adversarial(Rng& rng) {
   for (int v = 0; v < inst.graph().num_vertices(); ++v) vertices.push_back(v);
   Table table({"alpha", "worst-found ratio", "improving moves"});
   for (int alpha : {1, 2, 4, 8}) {
-    const PathSystem ps =
-        sample_path_system_all_pairs(*inst.routing, alpha, rng);
+    const PathSystem& ps = inst.engine.install_paths({.alpha = alpha});
     AdversarySearchOptions options;
     options.iterations = 40;
     options.pool = 2;

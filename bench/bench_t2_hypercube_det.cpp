@@ -23,21 +23,23 @@ void run() {
   Table table({"dim", "n", "demand", "greedy-1path", "semi(a=logn)",
                "opt-lb", "greedy/lb", "semi/lb"});
   for (int dim : {4, 6, 8, 10}) {
-    const Graph cube = gen::hypercube(dim);
-    ValiantRouting valiant(cube, dim);
-    GreedyBitFixRouting greedy(cube, dim);
+    bench::Instance inst = bench::make_hypercube(dim, /*seed=*/5 + dim);
+    const Graph& cube = inst.graph();
+    const auto greedy =
+        BackendRegistry::instance().make(cube, "greedy_bitfix", rng);
     for (const char* which : {"bit-reversal", "transpose"}) {
       const Demand d = std::string(which) == "bit-reversal"
                            ? gen::bit_reversal_demand(dim)
                            : gen::transpose_demand(dim);
       const double greedy_cong =
-          estimate_congestion(greedy, d.commodities(), 1, rng);
+          estimate_congestion(*greedy, d.commodities(), 1, rng);
       const int alpha = dim;  // Theta(log n)
-      const PathSystem ps =
-          sample_path_system(valiant, alpha, support_pairs(d), rng);
-      MinCongestionOptions options;
-      options.rounds = 300;
-      const auto semi = route_fractional(cube, ps, d, options);
+      inst.engine.install_paths(SamplingSpec::for_demand(d, alpha));
+      RouteSpec spec;
+      spec.mwu.rounds = 300;
+      spec.compute_optimum = false;
+      spec.compute_lower_bound = false;  // lb computed below
+      const auto semi = inst.engine.route(d, spec);
       const double lb = bench::opt_lower_bound(cube, d, dim <= 6);
       table.row()
           .cell(std::to_string(dim) + " " + which)

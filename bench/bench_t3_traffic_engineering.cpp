@@ -29,10 +29,12 @@ double oblivious_split_congestion(const Graph& g, const PathSystem& ps,
   return congestion_of_weights(g, commodities, paths, weights);
 }
 
-void run_topology(const std::string& name, const Graph& g, Rng& rng) {
+void run_topology(const std::string& name, Graph graph, Rng& rng) {
+  SorEngine engine = SorEngine::build(std::move(graph),
+                                      "racke:num_trees=12", rng.next());
+  const Graph& g = engine.graph();
   std::printf("-- %s: %d nodes, %d links --\n", name.c_str(),
               g.num_vertices(), g.num_edges());
-  RackeRouting oblivious(g, {.num_trees = 12}, rng);
 
   // Demand suite: three gravity matrices at different scales plus a
   // hot-spot shifted one.
@@ -63,14 +65,15 @@ void run_topology(const std::string& name, const Graph& g, Rng& rng) {
   Table table({"alpha", "semi/opt mean", "semi/opt max", "obl/opt mean",
                "obl/opt max"});
   for (int alpha : {1, 2, 4, 8}) {
-    const PathSystem tunnels =
-        sample_path_system_all_pairs(oblivious, alpha, rng);
+    const PathSystem& tunnels = engine.install_paths({.alpha = alpha});
     std::vector<double> semi_ratios;
     std::vector<double> obl_ratios;
     for (std::size_t i = 0; i < demands.size(); ++i) {
-      MinCongestionOptions options;
-      options.rounds = 400;
-      const auto semi = route_fractional(g, tunnels, demands[i], options);
+      RouteSpec spec;
+      spec.mwu.rounds = 400;
+      spec.compute_optimum = false;
+      spec.compute_lower_bound = false;  // opt[] is the denominator
+      const auto semi = engine.route(demands[i], spec);
       semi_ratios.push_back(semi.congestion / opt[i]);
       obl_ratios.push_back(
           oblivious_split_congestion(g, tunnels, demands[i]) / opt[i]);

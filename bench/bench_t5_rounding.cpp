@@ -34,7 +34,7 @@ void run() {
     for (int trial = 0; trial < 2; ++trial) {
       const Demand d = gen::random_permutation_demand(n, rng);
       const PathSystem ps = sample_path_system(
-          *inst.routing, /*alpha=*/4, support_pairs(d), rng);
+          inst.routing(), /*alpha=*/4, support_pairs(d), rng);
       MinCongestionOptions options;
       options.rounds = 400;
       const auto fractional = route_fractional(inst.graph(), ps, d, options);

@@ -25,7 +25,7 @@ void run_instance(const bench::Instance& inst, Rng& rng) {
   const int alpha = std::max(2, static_cast<int>(std::log2(n)));
   const Demand d = gen::random_permutation_demand(n, rng);
   const PathSystem ps =
-      sample_path_system(*inst.routing, alpha, support_pairs(d), rng);
+      sample_path_system(inst.routing(), alpha, support_pairs(d), rng);
 
   Table table({"gamma", "routed frac", "edges cut", "halving rounds",
                "flushed", "final cong", "cong/(4*g*rounds)"});

@@ -26,7 +26,7 @@ void run_instance(const bench::Instance& inst, Rng& rng) {
   Table table({"alpha", "failures", "coverage", "congestion", "baseline"});
   for (int alpha : {1, 2, 4, 8}) {
     const PathSystem ps =
-        sample_path_system(*inst.routing, alpha, pairs, rng);
+        sample_path_system(inst.routing(), alpha, pairs, rng);
     MinCongestionOptions options;
     options.rounds = 250;
     const double baseline =

@@ -7,11 +7,8 @@
 // the paper's way around the deterministic lower bound.
 #include <cstdio>
 
-#include "core/rounding.h"
-#include "core/semi_oblivious.h"
+#include "api/sor_engine.h"
 #include "graph/generators.h"
-#include "oblivious/routing.h"
-#include "oblivious/valiant.h"
 #include "util/table.h"
 
 int main() {
@@ -19,28 +16,30 @@ int main() {
   sor::Table table(
       {"dim", "n", "greedy-1-path", "alpha", "semi-oblivious", "opt-lb"});
   for (int dim : {6, 8, 10}) {
-    const sor::Graph cube = sor::gen::hypercube(dim);
     const sor::Demand demand = sor::gen::bit_reversal_demand(dim);
+    sor::SorEngine engine =
+        sor::SorEngine::build(sor::gen::hypercube(dim), "valiant", 42 + dim);
 
-    // The deterministic 1-path baseline.
-    sor::GreedyBitFixRouting greedy(cube, dim);
+    // The deterministic 1-path baseline, straight from the registry, over
+    // the engine's graph.
+    const auto greedy = sor::BackendRegistry::instance().make(
+        engine.graph(), "greedy_bitfix", rng);
     const double greedy_congestion =
-        sor::estimate_congestion(greedy, demand.commodities(), 1, rng);
+        sor::estimate_congestion(*greedy, demand.commodities(), 1, rng);
 
     // alpha = dim sampled Valiant paths per pair, adaptively weighted.
-    sor::ValiantRouting valiant(cube, dim);
     const int alpha = dim;
-    const sor::PathSystem ps = sor::sample_path_system(
-        valiant, alpha, sor::support_pairs(demand), rng);
-    const auto routed = sor::route_fractional(cube, ps, demand);
+    engine.install_paths(sor::SamplingSpec::for_demand(demand, alpha));
+    const sor::RouteReport report =
+        engine.route(demand, {.compute_optimum = false});
 
     table.row()
         .cell(dim)
-        .cell(cube.num_vertices())
+        .cell(engine.graph().num_vertices())
         .cell(greedy_congestion, 1)
         .cell(alpha)
-        .cell(routed.congestion, 2)
-        .cell(sor::distance_lower_bound(cube, demand), 2);
+        .cell(report.congestion, 2)
+        .cell(report.opt_lower_bound, 2);
   }
   table.print();
   std::printf(

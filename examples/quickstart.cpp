@@ -1,17 +1,17 @@
-// Quickstart: the full semi-oblivious routing pipeline in ~40 lines.
+// Quickstart: the full semi-oblivious routing pipeline through the
+// SorEngine facade.
 //
-//   1. build a network,
-//   2. build a competitive oblivious routing (Racke-style trees),
-//   3. alpha-sample a sparse path system from it (Definition 5.2) — this is
-//      the part installed in the network BEFORE traffic is known,
-//   4. when the demand arrives, adapt the sending rates over the sampled
-//      paths (Stage 4) and compare with the offline optimum.
+//   1. build(graph, backend)      — fix an oblivious routing substrate,
+//   2. install_paths(alpha)       — sample candidate paths BEFORE traffic
+//                                   is known (the semi-oblivious barrier),
+//   3. route(demand)              — adapt sending rates over the frozen
+//                                   paths once traffic arrives, with the
+//                                   competitive ratio and an integral
+//                                   one-path-per-packet routing reported.
 #include <cstdio>
 
-#include "core/rounding.h"
-#include "core/semi_oblivious.h"
+#include "api/sor_engine.h"
 #include "graph/generators.h"
-#include "oblivious/racke.h"
 
 int main() {
   sor::Rng rng(2023);
@@ -21,34 +21,31 @@ int main() {
   std::printf("network: %d vertices, %d edges\n", network.num_vertices(),
               network.num_edges());
 
-  // Oblivious substrate: a distribution over routing trees (Raecke).
-  sor::RackeRouting oblivious(network, {.num_trees = 10}, rng);
+  // Stage 1: a Raecke-style oblivious substrate, by registry name.
+  sor::SorEngine engine =
+      sor::SorEngine::build(std::move(network), "racke:num_trees=10", 2023);
 
-  // Install alpha = 4 candidate paths per pair, before seeing any traffic.
-  const int alpha = 4;
-  const sor::PathSystem candidates =
-      sor::sample_path_system_all_pairs(oblivious, alpha, rng);
+  // Stage 2: install alpha = 4 candidate paths per pair, traffic-oblivious.
+  const sor::PathSystem& candidates = engine.install_paths({.alpha = 4});
   std::printf("installed %zu candidate paths (sparsity %d)\n",
               candidates.total_paths(), candidates.sparsity());
 
   // Traffic arrives: a random permutation demand.
   const sor::Demand demand =
-      sor::gen::random_permutation_demand(network.num_vertices(), rng);
+      sor::gen::random_permutation_demand(engine.graph().num_vertices(), rng);
   std::printf("demand: %zu packets\n", demand.support_size());
 
-  // Adapt sending rates over the pre-installed paths.
-  const sor::SemiObliviousSolution routed =
-      sor::route_fractional(network, candidates, demand);
-  const sor::OptimalCongestion opt = sor::optimal_congestion(network, demand);
-  std::printf("semi-oblivious congestion: %.3f\n", routed.congestion);
-  std::printf("offline optimum: in [%.3f, %.3f]\n", opt.lower, opt.upper);
-  std::printf("competitive ratio: <= %.2f\n",
-              sor::competitive_ratio(routed, opt));
-
-  // One path per packet (Lemma 6.3 rounding + local search).
-  auto integral = sor::round_randomized(network, routed, rng, 8);
-  sor::local_search_improve(network, integral);
+  // Stage 3 (+ rounding): adapt rates over the frozen paths.
+  const sor::RouteReport report =
+      engine.route(demand, {.round_integral = true});
+  std::printf("semi-oblivious congestion: %.3f\n", report.congestion);
+  std::printf("offline optimum: in [%.3f, %.3f]\n", report.optimum->lower,
+              report.optimum->upper);
+  std::printf("competitive ratio: <= %.2f\n", report.competitive_ratio);
   std::printf("integral (one-path-per-packet) congestion: %.0f\n",
-              integral.congestion);
+              report.integral->congestion);
+  std::printf("stage times: build %.0f ms, sample %.0f ms, route %.0f ms\n",
+              report.times.build_ms, report.times.sample_ms,
+              report.times.route_ms);
   return 0;
 }

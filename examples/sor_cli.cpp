@@ -3,24 +3,23 @@
 //
 //   sor_cli --topology hypercube --size 8 --alpha 4
 //           --demand permutation --seed 7 [--integral] [--dot out.dot]
+//   sor_cli --topology torus --backend racke:num_trees=16,eta=4
+//   sor_cli --list-backends
 //
 // Topologies: hypercube (size = dimension), torus (size = side), expander
 // (size = n, degree 4), abilene, fattree (size = k), gadget (size = n,
 // alpha used for k). Demands: permutation, bitreversal (hypercube only),
-// gravity, pairs.
+// gravity, pairs. The substrate defaults to a sensible per-topology choice
+// and can be overridden with --backend <spec> (any registry name).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <memory>
+#include <stdexcept>
 #include <string>
 
-#include "core/rounding.h"
-#include "core/semi_oblivious.h"
+#include "api/sor_engine.h"
 #include "graph/generators.h"
 #include "io/serialization.h"
-#include "oblivious/racke.h"
-#include "oblivious/shortest_path_routing.h"
-#include "oblivious/valiant.h"
 
 namespace {
 
@@ -29,6 +28,7 @@ struct Options {
   int size = 6;
   int alpha = 4;
   std::string demand = "permutation";
+  std::string backend;  // empty = per-topology default
   std::uint64_t seed = 1;
   bool integral = false;
   std::string dot_path;
@@ -40,10 +40,24 @@ void usage() {
       "gadget]\n"
       "               [--size N] [--alpha A] "
       "[--demand permutation|bitreversal|gravity|pairs]\n"
-      "               [--seed S] [--integral] [--dot FILE]\n");
+      "               [--backend SPEC] [--seed S] [--integral] [--dot FILE]\n"
+      "               [--list-backends]\n"
+      "\n"
+      "SPEC is a registry name with optional numeric params, e.g.\n"
+      "  racke:num_trees=10,eta=6   (see --list-backends)\n");
 }
 
-bool parse(int argc, char** argv, Options& opt) {
+void list_backends() {
+  const auto& registry = sor::BackendRegistry::instance();
+  std::printf("registered oblivious-routing backends:\n");
+  for (const auto& name : registry.names()) {
+    std::printf("  %-18s %s\n", name.c_str(),
+                registry.description(name).c_str());
+  }
+}
+
+bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
+  exit_ok = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -68,6 +82,10 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next("--demand");
       if (!v) return false;
       opt.demand = v;
+    } else if (!std::strcmp(argv[i], "--backend")) {
+      const char* v = next("--backend");
+      if (!v) return false;
+      opt.backend = v;
     } else if (!std::strcmp(argv[i], "--seed")) {
       const char* v = next("--seed");
       if (!v) return false;
@@ -78,8 +96,13 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next("--dot");
       if (!v) return false;
       opt.dot_path = v;
+    } else if (!std::strcmp(argv[i], "--list-backends")) {
+      list_backends();
+      exit_ok = true;
+      return false;
     } else if (!std::strcmp(argv[i], "--help")) {
       usage();
+      exit_ok = true;
       return false;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
@@ -94,48 +117,57 @@ bool parse(int argc, char** argv, Options& opt) {
   return true;
 }
 
+/// The topology's graph plus its default substrate spec.
+struct Topology {
+  sor::Graph graph;
+  std::string default_backend;
+};
+
+Topology make_topology(const Options& opt, sor::Rng& rng) {
+  if (opt.topology == "hypercube") {
+    return {sor::gen::hypercube(opt.size), "valiant"};
+  }
+  if (opt.topology == "torus") {
+    return {sor::gen::grid(opt.size, opt.size, /*wrap=*/true),
+            "racke:num_trees=10"};
+  }
+  if (opt.topology == "expander") {
+    return {sor::gen::random_regular(opt.size, 4, rng), "racke:num_trees=10"};
+  }
+  if (opt.topology == "abilene") {
+    return {sor::gen::abilene(10.0), "racke:num_trees=12"};
+  }
+  if (opt.topology == "fattree") {
+    return {sor::gen::fat_tree(opt.size), "racke:num_trees=10"};
+  }
+  if (opt.topology == "gadget") {
+    const int k = sor::gen::lower_bound_k(opt.size, opt.alpha);
+    return {sor::gen::lower_bound_gadget(opt.size, k), "shortest_path"};
+  }
+  throw std::invalid_argument("unknown topology " + opt.topology);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
-  if (!parse(argc, argv, opt)) return 1;
+  bool exit_ok = false;
+  if (!parse(argc, argv, opt, exit_ok)) return exit_ok ? 0 : 1;
   sor::Rng rng(opt.seed);
-
-  sor::Graph g;
-  std::unique_ptr<sor::ObliviousRouting> routing;
-  if (opt.topology == "hypercube") {
-    g = sor::gen::hypercube(opt.size);
-    routing = std::make_unique<sor::ValiantRouting>(g, opt.size);
-  } else if (opt.topology == "torus") {
-    g = sor::gen::grid(opt.size, opt.size, /*wrap=*/true);
-    routing = std::make_unique<sor::RackeRouting>(
-        g, sor::RackeOptions{.num_trees = 10, .eta = 6.0}, rng);
-  } else if (opt.topology == "expander") {
-    g = sor::gen::random_regular(opt.size, 4, rng);
-    routing = std::make_unique<sor::RackeRouting>(
-        g, sor::RackeOptions{.num_trees = 10, .eta = 6.0}, rng);
-  } else if (opt.topology == "abilene") {
-    g = sor::gen::abilene(10.0);
-    routing = std::make_unique<sor::RackeRouting>(
-        g, sor::RackeOptions{.num_trees = 12, .eta = 6.0}, rng);
-  } else if (opt.topology == "fattree") {
-    g = sor::gen::fat_tree(opt.size);
-    routing = std::make_unique<sor::RackeRouting>(
-        g, sor::RackeOptions{.num_trees = 10, .eta = 6.0}, rng);
-  } else if (opt.topology == "gadget") {
-    const int k = sor::gen::lower_bound_k(opt.size, opt.alpha);
-    g = sor::gen::lower_bound_gadget(opt.size, k);
-    routing = std::make_unique<sor::RandomShortestPathRouting>(g);
-  } else {
-    std::fprintf(stderr, "unknown topology %s\n", opt.topology.c_str());
-    return 1;
-  }
+  try {
+  sor::SorEngine engine = [&] {
+    Topology topo = make_topology(opt, rng);
+    const std::string spec =
+        opt.backend.empty() ? topo.default_backend : opt.backend;
+    return sor::SorEngine::build(std::move(topo.graph), spec, opt.seed);
+  }();
   std::printf("topology %s: %d vertices, %d edges\n", opt.topology.c_str(),
-              g.num_vertices(), g.num_edges());
+              engine.graph().num_vertices(), engine.graph().num_edges());
 
+  const int n = engine.graph().num_vertices();
   sor::Demand d;
   if (opt.demand == "permutation") {
-    d = sor::gen::random_permutation_demand(g.num_vertices(), rng);
+    d = sor::gen::random_permutation_demand(n, rng);
   } else if (opt.demand == "bitreversal") {
     if (opt.topology != "hypercube") {
       std::fprintf(stderr, "bitreversal needs --topology hypercube\n");
@@ -143,40 +175,47 @@ int main(int argc, char** argv) {
     }
     d = sor::gen::bit_reversal_demand(opt.size);
   } else if (opt.demand == "gravity") {
-    d = sor::gen::gravity_demand(g, 4.0 * g.num_vertices());
+    d = sor::gen::gravity_demand(engine.graph(), 4.0 * n);
   } else if (opt.demand == "pairs") {
-    d = sor::gen::random_pairs_demand(g.num_vertices(),
-                                      g.num_vertices() / 2, rng);
+    d = sor::gen::random_pairs_demand(n, n / 2, rng);
   } else {
     std::fprintf(stderr, "unknown demand %s\n", opt.demand.c_str());
     return 1;
   }
   std::printf("demand: %zu pairs, size %.1f\n", d.support_size(), d.size());
 
-  const sor::PathSystem ps =
-      sor::sample_path_system(*routing, opt.alpha, sor::support_pairs(d), rng);
+  const sor::PathSystem& ps =
+      engine.install_paths(sor::SamplingSpec::for_demand(d, opt.alpha));
   std::printf("sampled %zu candidate paths (alpha = %d) from %s\n",
-              ps.total_paths(), opt.alpha, routing->name().c_str());
+              ps.total_paths(), opt.alpha, engine.backend().name().c_str());
 
-  const auto solution = sor::route_fractional(g, ps, d);
-  const auto opt_cong = sor::optimal_congestion(g, d);
-  std::printf("fractional congestion: %.4f\n", solution.congestion);
+  sor::RouteSpec route_spec;
+  route_spec.round_integral = opt.integral;
+  const sor::RouteReport report = engine.route(d, route_spec);
+  std::printf("fractional congestion: %.4f\n", report.congestion);
   std::printf("offline optimum in [%.4f, %.4f] -> ratio <= %.2f\n",
-              opt_cong.lower, opt_cong.upper,
-              solution.congestion / opt_cong.value());
+              report.optimum->lower, report.optimum->upper,
+              report.competitive_ratio);
+  std::printf(
+      "stage times: build %.0f ms, sample %.0f ms, route %.0f ms, "
+      "optimum %.0f ms\n",
+      report.times.build_ms, report.times.sample_ms, report.times.route_ms,
+      report.times.optimum_ms);
 
-  if (opt.integral && d.is_zero_one()) {
-    auto integral = sor::round_randomized(g, solution, rng, 8);
-    sor::local_search_improve(g, integral);
-    std::printf("integral congestion: %.0f\n", integral.congestion);
+  if (opt.integral && report.integral) {
+    std::printf("integral congestion: %.0f\n", report.integral->congestion);
   } else if (opt.integral) {
-    std::printf("(--integral skipped: demand is not {0,1})\n");
+    std::printf("(--integral skipped: demand is not integral)\n");
   }
 
   if (!opt.dot_path.empty()) {
     std::ofstream out(opt.dot_path);
-    sor::io::write_dot(out, g, &solution.edge_load);
+    sor::io::write_dot(out, engine.graph(), &report.solution.edge_load);
     std::printf("wrote %s (loads as penwidth)\n", opt.dot_path.c_str());
   }
   return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

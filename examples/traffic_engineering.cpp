@@ -3,18 +3,18 @@
 // The scenario the paper's Section 1.1 motivates: a wide-area network
 // installs alpha = 4 tunnels per ingress/egress pair, sampled from a
 // Racke-style oblivious routing, and re-optimizes sending rates every few
-// seconds as the traffic matrix drifts. We simulate a day of diurnal
-// gravity traffic plus an unexpected shift, and compare:
+// seconds as the traffic matrix drifts. This is SorEngine's home turf: ONE
+// engine holds the frozen tunnel system while every hour's demand is
+// routed over it. We simulate a day of diurnal gravity traffic plus an
+// unexpected shift, and compare:
 //   * semi-oblivious (adaptive rates over 4 sampled tunnels),
 //   * purely oblivious (fixed split over the same tunnels),
 //   * the offline optimum that sees each matrix in advance.
 #include <cstdio>
 #include <vector>
 
-#include "core/semi_oblivious.h"
+#include "api/sor_engine.h"
 #include "graph/generators.h"
-#include "lp/min_congestion.h"
-#include "oblivious/racke.h"
 #include "util/table.h"
 
 namespace {
@@ -38,15 +38,14 @@ double oblivious_split_congestion(const sor::Graph& g,
 }  // namespace
 
 int main() {
-  sor::Rng rng(7);
-  const sor::Graph wan = sor::gen::abilene(10.0);
-  std::printf("Abilene-like WAN: %d PoPs, %d links, capacity 10 each\n\n",
-              wan.num_vertices(), wan.num_edges());
-
-  sor::RackeRouting oblivious(wan, {.num_trees = 12}, rng);
   const int alpha = 4;
-  const sor::PathSystem tunnels =
-      sor::sample_path_system_all_pairs(oblivious, alpha, rng);
+  sor::SorEngine engine = sor::SorEngine::build(
+      sor::gen::abilene(10.0), "racke:num_trees=12", /*seed=*/7);
+  std::printf("Abilene-like WAN: %d PoPs, %d links, capacity 10 each\n\n",
+              engine.graph().num_vertices(), engine.graph().num_edges());
+
+  // Tunnels installed once, before any traffic matrix is seen.
+  const sor::PathSystem& tunnels = engine.install_paths({.alpha = alpha});
   std::printf("installed %d tunnels per pair (%zu total)\n\n", alpha,
               tunnels.total_paths());
 
@@ -55,23 +54,24 @@ int main() {
   sor::Table table({"hour", "traffic", "semi-obl", "oblivious", "optimal",
                     "semi/opt", "obl/opt"});
   for (std::size_t hour = 0; hour < std::size(diurnal); ++hour) {
-    sor::Demand d = sor::gen::gravity_demand(wan, 60.0 * diurnal[hour]);
+    sor::Demand d = sor::gen::gravity_demand(engine.graph(),
+                                             60.0 * diurnal[hour]);
     if (hour + 1 == std::size(diurnal)) {
       // Unexpected shift: a flash crowd between two coastal PoPs.
       d.add(0, 10, 25.0);
       d.add(10, 0, 25.0);
     }
-    const auto semi = sor::route_fractional(wan, tunnels, d);
-    const double obl = oblivious_split_congestion(wan, tunnels, d);
-    const auto opt = sor::optimal_congestion(wan, d);
+    // Re-optimize rates over the SAME frozen tunnels for this hour.
+    const sor::RouteReport report = engine.route(d);
+    const double obl = oblivious_split_congestion(engine.graph(), tunnels, d);
     table.row()
         .cell(static_cast<int>(hour * 4))
         .cell(d.size(), 1)
-        .cell(semi.congestion, 3)
+        .cell(report.congestion, 3)
         .cell(obl, 3)
-        .cell(opt.upper, 3)
-        .cell(semi.congestion / opt.value(), 2)
-        .cell(obl / opt.value(), 2);
+        .cell(report.optimum->upper, 3)
+        .cell(report.competitive_ratio, 2)
+        .cell(obl / report.opt_lower_bound, 2);
   }
   table.print();
   std::printf(

@@ -1,0 +1,157 @@
+#include "api/sor_engine.h"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sor {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// round_randomized() rounds amounts to nearest integers; only demands that
+/// are already (numerically) positive-integral survive that untouched.
+bool is_near_integral(const Demand& d) {
+  for (const auto& [pair, value] : d.entries()) {
+    const double rounded = std::round(value);
+    if (rounded < 0.5 || std::abs(value - rounded) > 1e-6) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SamplingSpec SamplingSpec::for_demand(const Demand& d, int alpha,
+                                      bool with_cut) {
+  SamplingSpec spec;
+  spec.alpha = alpha;
+  spec.with_cut = with_cut;
+  spec.all_pairs = false;  // empty demand => install nothing, not everything
+  spec.pairs = support_pairs(d);
+  return spec;
+}
+
+SorEngine SorEngine::build(Graph graph, const BackendSpec& spec,
+                           std::uint64_t seed) {
+  SorEngine engine;
+  engine.rng_.reseed(seed);
+  engine.graph_ = std::make_unique<Graph>(std::move(graph));
+  const auto start = Clock::now();
+  engine.backend_ =
+      BackendRegistry::instance().make(*engine.graph_, spec, engine.rng_);
+  engine.build_ms_ = ms_since(start);
+  return engine;
+}
+
+SorEngine SorEngine::build(Graph graph, const std::string& spec_text,
+                           std::uint64_t seed) {
+  return build(std::move(graph), BackendSpec::parse(spec_text), seed);
+}
+
+const PathSystem& SorEngine::install_paths(const SamplingSpec& spec) {
+  if (spec.alpha < 1) {
+    throw std::invalid_argument("install_paths: alpha must be >= 1");
+  }
+  const auto start = Clock::now();
+  if (spec.pairs.empty() && !spec.all_pairs) {
+    paths_ = PathSystem(graph_->num_vertices());  // explicit empty install
+  } else if (spec.pairs.empty()) {
+    const auto all = all_ordered_pairs(graph_->num_vertices());
+    paths_ = spec.with_cut
+                 ? sample_path_system_with_cut(*backend_, spec.alpha, all, rng_)
+                 : sample_path_system(*backend_, spec.alpha, all, rng_);
+  } else if (spec.with_cut) {
+    paths_ =
+        sample_path_system_with_cut(*backend_, spec.alpha, spec.pairs, rng_);
+  } else {
+    paths_ = sample_path_system(*backend_, spec.alpha, spec.pairs, rng_);
+  }
+  sample_ms_ = ms_since(start);
+  return *paths_;
+}
+
+const PathSystem& SorEngine::paths() const {
+  if (!paths_) {
+    throw std::logic_error(
+        "SorEngine: install_paths() has not been called yet");
+  }
+  return *paths_;
+}
+
+RouteReport SorEngine::route(const Demand& demand, const RouteSpec& spec) {
+  const PathSystem& ps = paths();  // throws before install_paths()
+  for (const auto& [pair, value] : demand.entries()) {
+    if (!ps.has_pair(pair.first, pair.second)) {
+      std::ostringstream msg;
+      msg << "SorEngine::route: demand pair (" << pair.first << ", "
+          << pair.second << ") has no installed candidate paths; "
+          << "install_paths() over the demand's support first";
+      throw std::invalid_argument(msg.str());
+    }
+  }
+
+  RouteReport report;
+  report.times.build_ms = build_ms_;
+  report.times.sample_ms = sample_ms_;
+
+  {
+    const auto start = Clock::now();
+    report.solution = spec.exact
+                          ? route_fractional_exact(*graph_, ps, demand)
+                          : route_fractional(*graph_, ps, demand, spec.mwu);
+    report.times.route_ms = ms_since(start);
+  }
+  report.congestion = report.solution.congestion;
+
+  double lb = 0.0;
+  if (spec.compute_lower_bound) {
+    lb = distance_lower_bound(*graph_, demand);
+    if (graph_->total_capacity() > 0.0) {
+      lb = std::max(lb, demand.size() / graph_->total_capacity());
+    }
+  }
+  if (spec.compute_optimum) {
+    const auto start = Clock::now();
+    report.optimum = optimal_congestion(*graph_, demand, spec.mwu);
+    report.times.optimum_ms = ms_since(start);
+    lb = std::max(lb, report.optimum->value());
+  }
+  report.opt_lower_bound = lb;
+  report.competitive_ratio = lb > 0.0 ? report.congestion / lb : 0.0;
+
+  if ((spec.round_integral || spec.simulate_packets) &&
+      is_near_integral(demand)) {
+    const auto start = Clock::now();
+    IntegralSolution integral =
+        round_randomized(*graph_, report.solution, rng_, spec.rounding_trials);
+    local_search_improve(*graph_, integral);
+    report.times.rounding_ms = ms_since(start);
+    report.integral = std::move(integral);
+  }
+
+  if (spec.simulate_packets && report.integral) {
+    // One store-and-forward packet per routed demand unit.
+    std::vector<Path> packet_paths;
+    const IntegralSolution& integral = *report.integral;
+    for (std::size_t j = 0; j < integral.choices.size(); ++j) {
+      for (int choice : integral.choices[j]) {
+        packet_paths.push_back(
+            integral.paths[j][static_cast<std::size_t>(choice)]);
+      }
+    }
+    const auto start = Clock::now();
+    report.simulation =
+        simulate_packets(*graph_, packet_paths, spec.policy, rng_);
+    report.times.sim_ms = ms_since(start);
+  }
+  return report;
+}
+
+}  // namespace sor

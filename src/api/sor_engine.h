@@ -1,0 +1,157 @@
+// SorEngine — the staged semi-oblivious routing pipeline behind one facade.
+//
+// The paper's object is a pipeline with an explicit information barrier:
+//
+//   Stage 1  build(graph, BackendSpec)      fix an oblivious routing R
+//   Stage 2  install_paths(SamplingSpec)    alpha-sample a sparse PathSystem
+//            -- demand revealed below this line --
+//   Stage 3  route(demand, RouteSpec)       adapt rates over the frozen paths
+//   Stage 4  (RouteSpec.round_integral)     one path per packet, Lemma 6.3
+//   Stage 5  (RouteSpec.simulate_packets)   store-and-forward makespan
+//
+// The engine owns the graph, the substrate, and the installed PathSystem.
+// The PathSystem is sampled ONCE and reused across every subsequent
+// route() call — that reuse is the semi-oblivious point (paths are
+// installed before traffic is known) and the amortization hook for
+// batching many revealed demands over one substrate.
+//
+// Every route() returns a self-contained RouteReport: congestion, the
+// offline-optimum certificate it is compared against, the competitive
+// ratio, per-stage wall-times, and the optional integral/makespan results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "api/backend_registry.h"
+#include "core/path_system.h"
+#include "core/rounding.h"
+#include "core/semi_oblivious.h"
+#include "graph/graph.h"
+#include "sim/packet_sim.h"
+
+namespace sor {
+
+/// Stage 2 knobs: how to alpha-sample the candidate PathSystem.
+struct SamplingSpec {
+  int alpha = 4;
+  /// Definition 5.2's (alpha + cut_G)-sample instead of a plain alpha-sample.
+  bool with_cut = false;
+  /// When `pairs` is empty: true installs paths for every ordered vertex
+  /// pair; false installs nothing. Explicit so that for_demand() of an
+  /// (accidentally) empty demand is a no-op rather than an O(n^2 alpha)
+  /// all-pairs sample. Ignored when `pairs` is non-empty.
+  bool all_pairs = true;
+  /// Pairs to install paths for; empty defers to `all_pairs`.
+  std::vector<std::pair<int, int>> pairs;
+
+  static SamplingSpec for_demand(const Demand& d, int alpha,
+                                 bool with_cut = false);
+};
+
+/// Stage 3..5 knobs for one revealed demand.
+struct RouteSpec {
+  MinCongestionOptions mwu;
+  /// Exact LP instead of the MWU engine (tiny instances only).
+  bool exact = false;
+  /// Solve the offline optimum opt_{G}(d) for the competitive ratio.
+  bool compute_optimum = true;
+  /// Compute the cheap distance-duality lower bound (one Dijkstra per
+  /// distinct demand source). Turn off together with compute_optimum when
+  /// the caller supplies its own denominator (hot benchmark loops).
+  bool compute_lower_bound = true;
+  /// Lemma 6.3 randomized rounding to one path per unit (requires a
+  /// near-integral demand; skipped otherwise).
+  bool round_integral = false;
+  int rounding_trials = 8;
+  /// Store-and-forward simulation of the integral routing (implies
+  /// round_integral).
+  bool simulate_packets = false;
+  SchedulePolicy policy = SchedulePolicy::kRandomPriority;
+};
+
+/// Wall-clock per pipeline stage, milliseconds.
+struct StageTimes {
+  double build_ms = 0.0;     ///< substrate construction (engine-wide)
+  double sample_ms = 0.0;    ///< PathSystem installation (engine-wide)
+  double route_ms = 0.0;     ///< adaptive rate selection
+  double optimum_ms = 0.0;   ///< offline-optimum solve
+  double rounding_ms = 0.0;  ///< integral rounding + local search
+  double sim_ms = 0.0;       ///< packet simulation
+};
+
+/// Everything route() learned about one revealed demand.
+struct RouteReport {
+  SemiObliviousSolution solution;  ///< rates, loads, exact congestion
+  double congestion = 0.0;         ///< solution.congestion, for convenience
+
+  /// Lower bound on the offline optimum: the distance-duality bound,
+  /// sharpened by the optimum's dual certificate when it was computed.
+  double opt_lower_bound = 0.0;
+  /// Offline optimum certificates (populated iff compute_optimum).
+  std::optional<OptimalCongestion> optimum;
+  /// congestion / opt_lower_bound — an upper bound on the true competitive
+  /// ratio. 0 when the demand is empty.
+  double competitive_ratio = 0.0;
+
+  /// Lemma 6.3 integral routing (populated iff requested and the demand is
+  /// near-integral).
+  std::optional<IntegralSolution> integral;
+  /// Packet-level makespan of the integral routing (iff simulate_packets).
+  std::optional<SimulationResult> simulation;
+
+  StageTimes times;
+};
+
+/// The pipeline facade. Movable, not copyable. Construction order is
+/// enforced: route() throws std::logic_error before install_paths().
+class SorEngine {
+ public:
+  /// Stage 1: takes ownership of `graph` and builds the named substrate
+  /// over it. All randomness downstream flows from `seed`.
+  static SorEngine build(Graph graph, const BackendSpec& spec,
+                         std::uint64_t seed = 1);
+  /// Convenience: build(graph, BackendSpec::parse(spec_text), seed).
+  static SorEngine build(Graph graph, const std::string& spec_text,
+                         std::uint64_t seed = 1);
+
+  /// Stage 2: samples and freezes the candidate PathSystem, replacing any
+  /// previously installed one. Returns the frozen system.
+  const PathSystem& install_paths(const SamplingSpec& spec);
+
+  /// Stage 3..5 for one revealed demand, over the frozen PathSystem.
+  /// Throws std::logic_error if install_paths() has not run, and
+  /// std::invalid_argument if the demand has a support pair with no
+  /// installed candidate paths.
+  RouteReport route(const Demand& demand, const RouteSpec& spec = {});
+
+  const Graph& graph() const { return *graph_; }
+  const ObliviousRouting& backend() const { return *backend_; }
+  bool has_paths() const { return paths_.has_value(); }
+  /// The frozen PathSystem; throws std::logic_error before install_paths().
+  const PathSystem& paths() const;
+
+  double build_ms() const { return build_ms_; }
+  double sample_ms() const { return sample_ms_; }
+  /// The engine's deterministic random stream (construction + sampling +
+  /// rounding draw from it in order).
+  Rng& rng() { return rng_; }
+
+ private:
+  SorEngine() = default;
+
+  // The graph lives behind a unique_ptr so the backend's internal pointer
+  // to it survives moves of the engine (same idiom as bench_common's
+  // Instance).
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<ObliviousRouting> backend_;
+  std::optional<PathSystem> paths_;
+  Rng rng_{1};
+  double build_ms_ = 0.0;
+  double sample_ms_ = 0.0;
+};
+
+}  // namespace sor

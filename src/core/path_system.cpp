@@ -14,8 +14,12 @@ void PathSystem::add_path(int s, int t, Path path) {
 }
 
 const std::vector<Path>& PathSystem::paths(int s, int t) const {
+  // One immutable empty list for every miss across every instance; a
+  // per-instance member would tie the returned reference's lifetime to the
+  // queried object and invite accidental mutation through const lookups.
+  static const std::vector<Path> kNoPaths;
   auto it = paths_.find({s, t});
-  return it == paths_.end() ? empty_ : it->second;
+  return it == paths_.end() ? kNoPaths : it->second;
 }
 
 bool PathSystem::has_pair(int s, int t) const {
@@ -56,17 +60,25 @@ PathSystem sample_path_system(const ObliviousRouting& routing, int alpha,
   return ps;
 }
 
-PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
-                                        int alpha, Rng& rng) {
-  const int n = routing.graph().num_vertices();
+std::vector<std::pair<int, int>> all_ordered_pairs(int n) {
   std::vector<std::pair<int, int>> pairs;
-  pairs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1));
+  if (n > 1) {
+    pairs.reserve(static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(n - 1));
+  }
   for (int s = 0; s < n; ++s) {
     for (int t = 0; t < n; ++t) {
       if (s != t) pairs.emplace_back(s, t);
     }
   }
-  return sample_path_system(routing, alpha, pairs, rng);
+  return pairs;
+}
+
+PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
+                                        int alpha, Rng& rng) {
+  return sample_path_system(routing, alpha,
+                            all_ordered_pairs(routing.graph().num_vertices()),
+                            rng);
 }
 
 PathSystem sample_path_system_with_cut(

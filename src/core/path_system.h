@@ -31,7 +31,9 @@ class PathSystem {
   /// Appends a candidate (s, t)-path. The path must run from s to t.
   void add_path(int s, int t, Path path);
 
-  /// Candidate paths for a pair (empty vector if none registered).
+  /// Candidate paths for a pair. A miss returns a reference to a single
+  /// immutable program-wide empty list: no allocation, no per-instance
+  /// state, safe to call concurrently on a const PathSystem.
   const std::vector<Path>& paths(int s, int t) const;
 
   bool has_pair(int s, int t) const;
@@ -57,8 +59,10 @@ class PathSystem {
  private:
   int n_ = 0;
   std::map<std::pair<int, int>, std::vector<Path>> paths_;
-  std::vector<Path> empty_;
 };
+
+/// All n*(n-1) ordered vertex pairs, lexicographic.
+std::vector<std::pair<int, int>> all_ordered_pairs(int n);
 
 /// alpha-sample of an oblivious routing R over the given pairs: for each
 /// pair, `alpha` independent draws from R(s, t) (with replacement).

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "api/backend_registry.h"
 
 namespace sor {
 namespace {
@@ -87,5 +90,25 @@ Path HopConstrainedRouting::sample_path(int s, int t, Rng& rng) const {
   }
   return p;
 }
+
+namespace detail {
+
+void register_hop_constrained_backends(BackendRegistry& registry) {
+  registry.add(
+      "hop_constrained",
+      {"recursive budgeted-Valiant routing with bounded dilation "
+       "(param hops = hop budget h)",
+       {"hops"},
+       [](const Graph& g, const BackendSpec& spec,
+          Rng&) -> std::unique_ptr<ObliviousRouting> {
+         const int hops = spec.param_int("hops", 8);
+         if (hops < 1) {
+           throw std::invalid_argument("hop_constrained: hops must be >= 1");
+         }
+         return std::make_unique<HopConstrainedRouting>(g, hops);
+       }});
+}
+
+}  // namespace detail
 
 }  // namespace sor

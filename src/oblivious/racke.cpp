@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "api/backend_registry.h"
 
 namespace sor {
 
@@ -42,5 +45,36 @@ Path RackeRouting::sample_path(int s, int t, Rng& rng) const {
   const std::size_t index = rng.uniform_u64(trees_.size());
   return trees_[index].route(s, t);
 }
+
+namespace detail {
+
+void register_racke_backends(BackendRegistry& registry) {
+  registry.add(
+      "racke",
+      {"Raecke-style distribution over MWU-reweighted FRT trees "
+       "(general connected graphs)",
+       {"num_trees", "eta"},
+       [](const Graph& g, const BackendSpec& spec,
+          Rng& rng) -> std::unique_ptr<ObliviousRouting> {
+         RackeOptions options;
+         options.num_trees = spec.param_int("num_trees", options.num_trees);
+         options.eta = spec.param("eta", options.eta);
+         if (options.num_trees < 1) {
+           throw std::invalid_argument("racke: num_trees must be >= 1");
+         }
+         return std::make_unique<RackeRouting>(g, options, rng);
+       }});
+  registry.add(
+      "frt",
+      {"single random FRT tree embedding (racke with num_trees = 1)",
+       {},
+       [](const Graph& g, const BackendSpec&,
+          Rng& rng) -> std::unique_ptr<ObliviousRouting> {
+         return std::make_unique<RackeRouting>(
+             g, RackeOptions{.num_trees = 1, .eta = 0.0}, rng);
+       }});
+}
+
+}  // namespace detail
 
 }  // namespace sor

@@ -1,6 +1,10 @@
 #include "oblivious/valiant.h"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "api/backend_registry.h"
 
 namespace sor {
 
@@ -54,5 +58,62 @@ Path GreedyBitFixRouting::path(int s, int t) const {
 Path GreedyBitFixRouting::sample_path(int s, int t, Rng& /*rng*/) const {
   return path(s, t);
 }
+
+namespace detail {
+namespace {
+
+/// Verifies `g` is the dim-dimensional hypercube (vertex ids are bit
+/// strings, every edge flips exactly one bit) and returns dim. The edge
+/// check matters: a 4x4 torus has the same vertex and edge counts as the
+/// 4-cube but bit-fixing walks are not paths in it.
+int hypercube_dim_or_throw(const Graph& g, const BackendSpec& spec,
+                           const char* backend) {
+  int dim = spec.param_int("dim", 0);
+  if (dim == 0) {
+    while (dim < 24 && (1 << dim) < g.num_vertices()) ++dim;
+  }
+  const auto fail = [&](const std::string& why) {
+    throw std::invalid_argument(std::string(backend) + ": " + why +
+                                " (backend requires gen::hypercube)");
+  };
+  if (dim < 1 || dim > 20 || g.num_vertices() != (1 << dim)) {
+    fail("graph does not have 2^dim vertices");
+  }
+  if (g.num_edges() != dim * (1 << (dim - 1))) {
+    fail("graph does not have dim * 2^(dim-1) edges");
+  }
+  for (const Edge& e : g.edges()) {
+    const int diff = e.u ^ e.v;
+    if (diff == 0 || (diff & (diff - 1)) != 0) {
+      fail("an edge does not flip exactly one bit");
+    }
+  }
+  return dim;
+}
+
+}  // namespace
+
+void register_hypercube_backends(BackendRegistry& registry) {
+  registry.add(
+      "valiant",
+      {"Valiant-Brebner two-leg random-waypoint bit fixing (hypercubes)",
+       {"dim"},
+       [](const Graph& g, const BackendSpec& spec,
+          Rng&) -> std::unique_ptr<ObliviousRouting> {
+         return std::make_unique<ValiantRouting>(
+             g, hypercube_dim_or_throw(g, spec, "valiant"));
+       }});
+  registry.add(
+      "greedy_bitfix",
+      {"deterministic greedy bit fixing, the 1-path baseline (hypercubes)",
+       {"dim"},
+       [](const Graph& g, const BackendSpec& spec,
+          Rng&) -> std::unique_ptr<ObliviousRouting> {
+         return std::make_unique<GreedyBitFixRouting>(
+             g, hypercube_dim_or_throw(g, spec, "greedy_bitfix"));
+       }});
+}
+
+}  // namespace detail
 
 }  // namespace sor

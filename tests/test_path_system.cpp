@@ -91,6 +91,33 @@ TEST(PathSystem, SupportPairsOfDemand) {
   EXPECT_EQ(pairs[1], (std::pair{4, 2}));
 }
 
+TEST(PathSystem, MissReturnsSharedImmutableEmptyList) {
+  PathSystem a(4);
+  PathSystem b(8);
+  a.add_path(0, 3, {0, 1, 3});
+
+  // Misses are allocation-free: every miss, on any instance, aliases the
+  // same immutable empty list rather than per-instance (or, worse,
+  // lazily-inserted) storage.
+  const std::vector<Path>& miss_a = a.paths(1, 2);
+  const std::vector<Path>& miss_b = b.paths(5, 6);
+  EXPECT_TRUE(miss_a.empty());
+  EXPECT_EQ(&miss_a, &miss_b);
+  EXPECT_EQ(&miss_a, &a.paths(3, 0));
+
+  // Const lookups never materialize entries.
+  EXPECT_EQ(a.num_pairs(), 1u);
+  EXPECT_EQ(b.num_pairs(), 0u);
+  EXPECT_FALSE(a.has_pair(1, 2));
+
+  // The miss reference stays empty and distinct from real entries even
+  // after subsequent inserts (no rebinding of the sentinel).
+  a.add_path(1, 2, {1, 2});
+  EXPECT_TRUE(miss_a.empty());
+  EXPECT_NE(&miss_a, &a.paths(1, 2));
+  EXPECT_EQ(a.paths(1, 2).size(), 1u);
+}
+
 TEST(PathSystem, SpecialDemandValues) {
   // Definition 5.5: d(s,t) = alpha + cut_G(s,t) on the support.
   const int n = 6;
