@@ -1,12 +1,21 @@
-// Shared helpers for the experiment harnesses (bench_f1 ... bench_t6).
+// Shared helpers for the experiment harnesses (bench_f1 ... bench_t8, m3).
 //
 // Each bench binary regenerates one row of the DESIGN.md experiment index:
 // it prints a plain-text table whose *shape* (who wins, by what factor,
 // where crossovers fall) mirrors the corresponding claim of the paper.
+//
+// Every harness that calls BenchArgs::parse also understands:
+//   --quick       shrink instances/trials to a CI-smoke size
+//   --json PATH   additionally write every table as machine-readable JSON
+//                 rows (one array of row objects; see JsonSink) — this is
+//                 what CI uploads as the BENCH_*.json trajectory artifact.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/sor_engine.h"
@@ -23,6 +32,58 @@ namespace sor::bench {
 inline void banner(const char* id, const char* claim) {
   std::printf("==== %s ====\n%s\n\n", id, claim);
 }
+
+/// Common harness flags (unknown flags are ignored so harness-specific
+/// parsing can coexist).
+struct BenchArgs {
+  bool quick = false;
+  std::string json_path;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--quick")) {
+        args.quick = true;
+      } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+        args.json_path = argv[++i];
+      }
+    }
+    return args;
+  }
+};
+
+/// Accumulates (experiment id, Table) pairs and writes them as one JSON
+/// array of row objects on flush(). A sink with an empty path is a no-op,
+/// so harnesses can call add()/flush() unconditionally.
+class JsonSink {
+ public:
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+
+  void add(const std::string& experiment, const Table& table) {
+    if (path_.empty() || table.num_rows() == 0) return;
+    if (!rows_.empty()) rows_ += ",\n";
+    rows_ += table.to_json_rows(experiment);
+  }
+
+  /// Writes the accumulated rows; returns false (with a warning printed)
+  /// if the file cannot be opened.
+  bool flush() const {
+    if (path_.empty()) return true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write JSON to %s\n",
+                   path_.c_str());
+      return false;
+    }
+    out << "[\n" << rows_ << "\n]\n";
+    std::printf("\nwrote JSON rows to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::string rows_;
+};
 
 /// A named test topology plus a matching oblivious substrate, both owned by
 /// a SorEngine built through the backend registry.

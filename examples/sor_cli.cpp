@@ -4,6 +4,7 @@
 //   sor_cli --topology hypercube --size 8 --alpha 4
 //           --demand permutation --seed 7 [--integral] [--dot out.dot]
 //   sor_cli --topology torus --backend racke:num_trees=16,eta=4
+//   sor_cli --topology expander --size 128 --threads 4 --batch 32
 //   sor_cli --list-backends
 //
 // Topologies: hypercube (size = dimension), torus (size = side), expander
@@ -11,11 +12,18 @@
 // alpha used for k). Demands: permutation, bitreversal (hypercube only),
 // gravity, pairs. The substrate defaults to a sensible per-topology choice
 // and can be overridden with --backend <spec> (any registry name).
+//
+// --threads N parallelizes substrate construction, path installation, and
+// batch routing over the engine's worker pool (results are bit-identical
+// for every N; see api/sor_engine.h). --batch B reveals B independent
+// demands and routes them concurrently over the one frozen PathSystem.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "api/sor_engine.h"
 #include "graph/generators.h"
@@ -30,6 +38,8 @@ struct Options {
   std::string demand = "permutation";
   std::string backend;  // empty = per-topology default
   std::uint64_t seed = 1;
+  int threads = 1;
+  int batch = 1;
   bool integral = false;
   std::string dot_path;
 };
@@ -40,11 +50,14 @@ void usage() {
       "gadget]\n"
       "               [--size N] [--alpha A] "
       "[--demand permutation|bitreversal|gravity|pairs]\n"
-      "               [--backend SPEC] [--seed S] [--integral] [--dot FILE]\n"
-      "               [--list-backends]\n"
+      "               [--backend SPEC] [--seed S] [--threads N] [--batch B]\n"
+      "               [--integral] [--dot FILE] [--list-backends]\n"
       "\n"
       "SPEC is a registry name with optional numeric params, e.g.\n"
-      "  racke:num_trees=10,eta=6   (see --list-backends)\n");
+      "  racke:num_trees=10,eta=6   (see --list-backends)\n"
+      "--threads N runs build/install/batch-route on N workers (0 = all\n"
+      "cores) with results identical to --threads 1; --batch B routes B\n"
+      "revealed demands concurrently over the one frozen PathSystem.\n");
 }
 
 void list_backends() {
@@ -90,6 +103,14 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
       const char* v = next("--seed");
       if (!v) return false;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      const char* v = next("--threads");
+      if (!v) return false;
+      opt.threads = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--batch")) {
+      const char* v = next("--batch");
+      if (!v) return false;
+      opt.batch = std::atoi(v);
     } else if (!std::strcmp(argv[i], "--integral")) {
       opt.integral = true;
     } else if (!std::strcmp(argv[i], "--dot")) {
@@ -112,6 +133,10 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
   }
   if (opt.size < 1 || opt.alpha < 1) {
     std::fprintf(stderr, "size and alpha must be positive\n");
+    return false;
+  }
+  if (opt.threads < 0 || opt.batch < 1) {
+    std::fprintf(stderr, "--threads must be >= 0 and --batch >= 1\n");
     return false;
   }
   return true;
@@ -159,38 +184,80 @@ int main(int argc, char** argv) {
     Topology topo = make_topology(opt, rng);
     const std::string spec =
         opt.backend.empty() ? topo.default_backend : opt.backend;
-    return sor::SorEngine::build(std::move(topo.graph), spec, opt.seed);
+    return sor::SorEngine::build(std::move(topo.graph), spec, opt.seed,
+                                 opt.threads);
   }();
   std::printf("topology %s: %d vertices, %d edges\n", opt.topology.c_str(),
               engine.graph().num_vertices(), engine.graph().num_edges());
 
   const int n = engine.graph().num_vertices();
-  sor::Demand d;
-  if (opt.demand == "permutation") {
-    d = sor::gen::random_permutation_demand(n, rng);
-  } else if (opt.demand == "bitreversal") {
-    if (opt.topology != "hypercube") {
-      std::fprintf(stderr, "bitreversal needs --topology hypercube\n");
-      return 1;
+  auto make_demand = [&]() -> sor::Demand {
+    if (opt.demand == "permutation") {
+      return sor::gen::random_permutation_demand(n, rng);
     }
-    d = sor::gen::bit_reversal_demand(opt.size);
-  } else if (opt.demand == "gravity") {
-    d = sor::gen::gravity_demand(engine.graph(), 4.0 * n);
-  } else if (opt.demand == "pairs") {
-    d = sor::gen::random_pairs_demand(n, n / 2, rng);
-  } else {
-    std::fprintf(stderr, "unknown demand %s\n", opt.demand.c_str());
-    return 1;
-  }
-  std::printf("demand: %zu pairs, size %.1f\n", d.support_size(), d.size());
+    if (opt.demand == "bitreversal") {
+      if (opt.topology != "hypercube") {
+        throw std::invalid_argument("bitreversal needs --topology hypercube");
+      }
+      return sor::gen::bit_reversal_demand(opt.size);
+    }
+    if (opt.demand == "gravity") {
+      return sor::gen::gravity_demand(engine.graph(), 4.0 * n);
+    }
+    if (opt.demand == "pairs") {
+      return sor::gen::random_pairs_demand(n, n / 2, rng);
+    }
+    throw std::invalid_argument("unknown demand " + opt.demand);
+  };
+  std::vector<sor::Demand> demands;
+  demands.reserve(static_cast<std::size_t>(opt.batch));
+  for (int b = 0; b < opt.batch; ++b) demands.push_back(make_demand());
+  const sor::Demand& d = demands.front();
+  std::printf("demand: %zu pairs, size %.1f%s\n", d.support_size(), d.size(),
+              opt.batch > 1 ? " (first of batch)" : "");
 
+  // Install once over the union of every batch demand's support — the
+  // semi-oblivious amortization the batch is exercising.
   const sor::PathSystem& ps =
-      engine.install_paths(sor::SamplingSpec::for_demand(d, opt.alpha));
+      engine.install_paths(sor::SamplingSpec::for_demands(demands, opt.alpha));
   std::printf("sampled %zu candidate paths (alpha = %d) from %s\n",
               ps.total_paths(), opt.alpha, engine.backend().name().c_str());
 
   sor::RouteSpec route_spec;
   route_spec.round_integral = opt.integral;
+
+  if (opt.batch > 1) {
+    const sor::BatchReport batch = engine.route_batch(demands, route_spec);
+    std::printf(
+        "routed %d demands on %d thread(s): max congestion %.4f, "
+        "max ratio <= %.2f\n",
+        opt.batch, batch.threads, batch.max_congestion,
+        batch.max_competitive_ratio);
+    std::printf(
+        "batch wall %.0f ms vs %.0f ms serial-equivalent -> speedup %.2fx\n",
+        batch.wall_ms, batch.total_route_ms, batch.speedup_vs_serial());
+    if (opt.integral) {
+      int rounded = 0;
+      double max_integral = 0.0;
+      for (const sor::RouteReport& report : batch.reports) {
+        if (!report.integral) continue;
+        ++rounded;
+        max_integral = std::max(max_integral, report.integral->congestion);
+      }
+      if (rounded > 0) {
+        std::printf("integral congestion: max %.0f over %d/%d demands\n",
+                    max_integral, rounded, opt.batch);
+      } else {
+        std::printf("(--integral skipped: no demand in the batch is integral)\n");
+      }
+    }
+    if (!opt.dot_path.empty()) {
+      std::fprintf(stderr,
+                   "(--dot ignored: per-demand load drawing needs --batch 1)\n");
+    }
+    return 0;
+  }
+
   const sor::RouteReport report = engine.route(d, route_spec);
   std::printf("fractional congestion: %.4f\n", report.congestion);
   std::printf("offline optimum in [%.4f, %.4f] -> ratio <= %.2f\n",

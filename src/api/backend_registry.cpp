@@ -108,6 +108,15 @@ const std::string& BackendRegistry::description(const std::string& name) const {
   return it->second.description;
 }
 
+const std::vector<std::string>& BackendRegistry::keys(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown backend \"" + name + "\"");
+  }
+  return it->second.keys;
+}
+
 std::unique_ptr<ObliviousRouting> BackendRegistry::make(
     const Graph& g, const BackendSpec& spec, Rng& rng) const {
   auto it = entries_.find(spec.name);

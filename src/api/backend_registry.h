@@ -72,6 +72,10 @@ class BackendRegistry {
   std::vector<std::string> names() const;
   /// Description for a registered name; throws std::invalid_argument else.
   const std::string& description(const std::string& name) const;
+  /// Accepted param keys of a registered name (used by SorEngine to decide
+  /// whether its thread count can flow into the backend's construction);
+  /// throws std::invalid_argument for unknown names.
+  const std::vector<std::string>& keys(const std::string& name) const;
 
   /// Builds the substrate `spec` names over `g`. Throws
   /// std::invalid_argument for unknown names, unknown param keys, or

@@ -1,5 +1,6 @@
 #include "api/sor_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <sstream>
@@ -38,21 +39,68 @@ SamplingSpec SamplingSpec::for_demand(const Demand& d, int alpha,
   return spec;
 }
 
+SamplingSpec SamplingSpec::for_demands(std::span<const Demand> demands,
+                                       int alpha, bool with_cut) {
+  SamplingSpec spec;
+  spec.alpha = alpha;
+  spec.with_cut = with_cut;
+  spec.all_pairs = false;
+  for (const Demand& d : demands) {
+    const auto pairs = support_pairs(d);
+    spec.pairs.insert(spec.pairs.end(), pairs.begin(), pairs.end());
+  }
+  std::sort(spec.pairs.begin(), spec.pairs.end());
+  spec.pairs.erase(std::unique(spec.pairs.begin(), spec.pairs.end()),
+                   spec.pairs.end());
+  return spec;
+}
+
 SorEngine SorEngine::build(Graph graph, const BackendSpec& spec,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, int threads) {
+  if (threads < 0) {
+    throw std::invalid_argument("SorEngine::build: threads must be >= 0");
+  }
   SorEngine engine;
   engine.rng_.reseed(seed);
+  engine.threads_ = threads;
   engine.graph_ = std::make_unique<Graph>(std::move(graph));
+  // The engine's thread count flows into backend construction when the
+  // backend declares a "threads" knob the caller has not pinned himself
+  // (racke builds its per-wave trees concurrently, say). Results stay
+  // thread-count invariant, so this is purely a wall-clock decision.
+  BackendSpec effective = spec;
+  const auto& registry = BackendRegistry::instance();
+  if (threads != 1 && !effective.params.count("threads") &&
+      registry.has(effective.name)) {
+    const auto& keys = registry.keys(effective.name);
+    if (std::find(keys.begin(), keys.end(), "threads") != keys.end()) {
+      effective.params["threads"] = static_cast<double>(threads);
+    }
+  }
   const auto start = Clock::now();
-  engine.backend_ =
-      BackendRegistry::instance().make(*engine.graph_, spec, engine.rng_);
+  engine.backend_ = registry.make(*engine.graph_, effective, engine.rng_);
   engine.build_ms_ = ms_since(start);
   return engine;
 }
 
 SorEngine SorEngine::build(Graph graph, const std::string& spec_text,
-                           std::uint64_t seed) {
-  return build(std::move(graph), BackendSpec::parse(spec_text), seed);
+                           std::uint64_t seed, int threads) {
+  return build(std::move(graph), BackendSpec::parse(spec_text), seed, threads);
+}
+
+void SorEngine::set_threads(int threads) {
+  if (threads < 0) {
+    throw std::invalid_argument("SorEngine::set_threads: threads must be >= 0");
+  }
+  if (threads == threads_) return;
+  threads_ = threads;
+  pool_.reset();  // re-created lazily at the new width
+}
+
+util::ThreadPool* SorEngine::pool() {
+  if (threads_ == 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads_);
+  return pool_.get();
 }
 
 const PathSystem& SorEngine::install_paths(const SamplingSpec& spec) {
@@ -60,18 +108,21 @@ const PathSystem& SorEngine::install_paths(const SamplingSpec& spec) {
     throw std::invalid_argument("install_paths: alpha must be >= 1");
   }
   const auto start = Clock::now();
+  util::ThreadPool* workers = pool();
   if (spec.pairs.empty() && !spec.all_pairs) {
     paths_ = PathSystem(graph_->num_vertices());  // explicit empty install
-  } else if (spec.pairs.empty()) {
-    const auto all = all_ordered_pairs(graph_->num_vertices());
-    paths_ = spec.with_cut
-                 ? sample_path_system_with_cut(*backend_, spec.alpha, all, rng_)
-                 : sample_path_system(*backend_, spec.alpha, all, rng_);
-  } else if (spec.with_cut) {
-    paths_ =
-        sample_path_system_with_cut(*backend_, spec.alpha, spec.pairs, rng_);
   } else {
-    paths_ = sample_path_system(*backend_, spec.alpha, spec.pairs, rng_);
+    std::vector<std::pair<int, int>> all;
+    const std::vector<std::pair<int, int>>* pairs = &spec.pairs;
+    if (spec.pairs.empty()) {
+      all = all_ordered_pairs(graph_->num_vertices());
+      pairs = &all;
+    }
+    paths_ = spec.with_cut
+                 ? sample_path_system_with_cut(*backend_, spec.alpha, *pairs,
+                                               rng_, workers)
+                 : sample_path_system(*backend_, spec.alpha, *pairs, rng_,
+                                      workers);
   }
   sample_ms_ = ms_since(start);
   return *paths_;
@@ -85,7 +136,7 @@ const PathSystem& SorEngine::paths() const {
   return *paths_;
 }
 
-RouteReport SorEngine::route(const Demand& demand, const RouteSpec& spec) {
+void SorEngine::require_installed_pairs(const Demand& demand) const {
   const PathSystem& ps = paths();  // throws before install_paths()
   for (const auto& [pair, value] : demand.entries()) {
     if (!ps.has_pair(pair.first, pair.second)) {
@@ -96,6 +147,51 @@ RouteReport SorEngine::route(const Demand& demand, const RouteSpec& spec) {
       throw std::invalid_argument(msg.str());
     }
   }
+}
+
+RouteReport SorEngine::route(const Demand& demand, const RouteSpec& spec) {
+  require_installed_pairs(demand);
+  return route_one(demand, spec, rng_);
+}
+
+BatchReport SorEngine::route_batch(std::span<const Demand> demands,
+                                   const RouteSpec& spec) {
+  for (const Demand& d : demands) require_installed_pairs(d);
+
+  BatchReport batch;
+  util::ThreadPool* workers = pool();
+  batch.threads = workers ? workers->num_threads() : 1;
+  // One stream per demand, split in input order BEFORE the fan-out: the
+  // reports are a function of (demands, seed) only, never of scheduling.
+  std::vector<Rng> streams = rng_.split(demands.size());
+
+  const auto start = Clock::now();
+  auto route_index = [&](std::size_t i) {
+    return route_one(demands[i], spec, streams[i]);
+  };
+  if (workers) {
+    batch.reports = workers->parallel_map(demands.size(), route_index);
+  } else {
+    batch.reports.reserve(demands.size());
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      batch.reports.push_back(route_index(i));
+    }
+  }
+  batch.wall_ms = ms_since(start);
+
+  for (const RouteReport& report : batch.reports) {
+    batch.max_congestion = std::max(batch.max_congestion, report.congestion);
+    batch.max_competitive_ratio =
+        std::max(batch.max_competitive_ratio, report.competitive_ratio);
+    batch.total_route_ms += report.times.route_ms + report.times.optimum_ms +
+                            report.times.rounding_ms + report.times.sim_ms;
+  }
+  return batch;
+}
+
+RouteReport SorEngine::route_one(const Demand& demand, const RouteSpec& spec,
+                                 Rng& rng) const {
+  const PathSystem& ps = *paths_;
 
   RouteReport report;
   report.times.build_ms = build_ms_;
@@ -130,7 +226,7 @@ RouteReport SorEngine::route(const Demand& demand, const RouteSpec& spec) {
       is_near_integral(demand)) {
     const auto start = Clock::now();
     IntegralSolution integral =
-        round_randomized(*graph_, report.solution, rng_, spec.rounding_trials);
+        round_randomized(*graph_, report.solution, rng, spec.rounding_trials);
     local_search_improve(*graph_, integral);
     report.times.rounding_ms = ms_since(start);
     report.integral = std::move(integral);
@@ -148,7 +244,7 @@ RouteReport SorEngine::route(const Demand& demand, const RouteSpec& spec) {
     }
     const auto start = Clock::now();
     report.simulation =
-        simulate_packets(*graph_, packet_paths, spec.policy, rng_);
+        simulate_packets(*graph_, packet_paths, spec.policy, rng);
     report.times.sim_ms = ms_since(start);
   }
   return report;

@@ -18,11 +18,22 @@
 // Every route() returns a self-contained RouteReport: congestion, the
 // offline-optimum certificate it is compared against, the competitive
 // ratio, per-stage wall-times, and the optional integral/makespan results.
+//
+// Threading and determinism. The engine owns a fixed worker pool
+// (`set_threads`, or the `threads` argument of build()) that accelerates
+// the three hot paths: backend construction (racke per-wave tree builds),
+// install_paths() (per-pair path sampling), and route_batch() (per-demand
+// adaptive routing). Every parallel region is shared-nothing fan-out with
+// per-item Rng streams seed-split (Rng::split) from the engine's stream in
+// item order, NEVER a shared generator — so for a fixed seed the output is
+// bit-identical for every thread count, including 1. Parallelism changes
+// wall-clock only, never results; tests/test_route_batch.cpp enforces it.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -32,6 +43,7 @@
 #include "core/semi_oblivious.h"
 #include "graph/graph.h"
 #include "sim/packet_sim.h"
+#include "util/thread_pool.h"
 
 namespace sor {
 
@@ -50,6 +62,10 @@ struct SamplingSpec {
 
   static SamplingSpec for_demand(const Demand& d, int alpha,
                                  bool with_cut = false);
+  /// Union of the batch's supports, deduplicated — install once, then
+  /// route_batch() the whole set over the one frozen PathSystem.
+  static SamplingSpec for_demands(std::span<const Demand> demands, int alpha,
+                                  bool with_cut = false);
 };
 
 /// Stage 3..5 knobs for one revealed demand.
@@ -106,17 +122,38 @@ struct RouteReport {
   StageTimes times;
 };
 
+/// Aggregate of route_batch(): one RouteReport per demand (in input order)
+/// plus the batch-level numbers a serving loop cares about.
+struct BatchReport {
+  std::vector<RouteReport> reports;  ///< per-demand, in input order
+  double max_congestion = 0.0;       ///< max over the batch
+  double max_competitive_ratio = 0.0;
+  /// Sum of the per-demand stage-3..5 solve times — what a serial route()
+  /// loop over the batch would have cost.
+  double total_route_ms = 0.0;
+  double wall_ms = 0.0;  ///< wall-clock of the whole batch call
+  int threads = 1;       ///< pool width the batch ran with
+  /// Effective parallel speedup: serial-equivalent work over wall-clock.
+  double speedup_vs_serial() const {
+    return wall_ms > 0.0 ? total_route_ms / wall_ms : 0.0;
+  }
+};
+
 /// The pipeline facade. Movable, not copyable. Construction order is
 /// enforced: route() throws std::logic_error before install_paths().
 class SorEngine {
  public:
   /// Stage 1: takes ownership of `graph` and builds the named substrate
-  /// over it. All randomness downstream flows from `seed`.
+  /// over it. All randomness downstream flows from `seed`; `threads` sizes
+  /// the engine's worker pool (1 = serial, 0 = hardware concurrency) and,
+  /// when the backend accepts a "threads" param the spec does not already
+  /// set, flows into the backend's construction too. Thread count never
+  /// changes results, only wall-clock (see the header comment).
   static SorEngine build(Graph graph, const BackendSpec& spec,
-                         std::uint64_t seed = 1);
+                         std::uint64_t seed = 1, int threads = 1);
   /// Convenience: build(graph, BackendSpec::parse(spec_text), seed).
   static SorEngine build(Graph graph, const std::string& spec_text,
-                         std::uint64_t seed = 1);
+                         std::uint64_t seed = 1, int threads = 1);
 
   /// Stage 2: samples and freezes the candidate PathSystem, replacing any
   /// previously installed one. Returns the frozen system.
@@ -127,6 +164,21 @@ class SorEngine {
   /// std::invalid_argument if the demand has a support pair with no
   /// installed candidate paths.
   RouteReport route(const Demand& demand, const RouteSpec& spec = {});
+
+  /// Stage 3..5 for MANY revealed demands over the one frozen PathSystem,
+  /// routed concurrently across the engine's pool. Demand i draws from its
+  /// own Rng stream seed-split from the engine stream in input order, so
+  /// the reports are bit-identical for every thread count; with rounding
+  /// and simulation off (their defaults) they also equal a serial route()
+  /// loop over the same demands. Same preconditions as route(), checked
+  /// for the whole batch up front.
+  BatchReport route_batch(std::span<const Demand> demands,
+                          const RouteSpec& spec = {});
+
+  /// Resizes the worker pool used by install_paths() and route_batch()
+  /// (1 = serial, 0 = hardware concurrency). Cheap when unchanged.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
 
   const Graph& graph() const { return *graph_; }
   const ObliviousRouting& backend() const { return *backend_; }
@@ -143,6 +195,16 @@ class SorEngine {
  private:
   SorEngine() = default;
 
+  /// The frozen-path stages for one demand; `rng` is the stream rounding
+  /// and simulation draw from (the engine stream for route(), a seed-split
+  /// stream for route_batch()).
+  RouteReport route_one(const Demand& demand, const RouteSpec& spec,
+                        Rng& rng) const;
+  void require_installed_pairs(const Demand& demand) const;
+  /// The pool sized to threads_, created on first parallel use (nullptr
+  /// while threads_ == 1).
+  util::ThreadPool* pool();
+
   // The graph lives behind a unique_ptr so the backend's internal pointer
   // to it survives moves of the engine (same idiom as bench_common's
   // Instance).
@@ -150,6 +212,8 @@ class SorEngine {
   std::unique_ptr<ObliviousRouting> backend_;
   std::optional<PathSystem> paths_;
   Rng rng_{1};
+  int threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
   double build_ms_ = 0.0;
   double sample_ms_ = 0.0;
 };

@@ -46,18 +46,49 @@ void PathSystem::merge(const PathSystem& other) {
   }
 }
 
-PathSystem sample_path_system(const ObliviousRouting& routing, int alpha,
-                              const std::vector<std::pair<int, int>>& pairs,
-                              Rng& rng) {
-  assert(alpha >= 1);
+namespace {
+
+/// Shared fan-out skeleton of the two samplers: `draws(i)` paths for pair
+/// i, each pair on its own seed-split stream, results appended in pair
+/// order. Pair-independent streams make the output thread-count invariant.
+template <typename DrawCount>
+PathSystem sample_pairs(const ObliviousRouting& routing,
+                        const std::vector<std::pair<int, int>>& pairs,
+                        Rng& rng, util::ThreadPool* pool,
+                        const DrawCount& draws) {
+  std::vector<Rng> streams = rng.split(pairs.size());
+  std::vector<std::vector<Path>> sampled(pairs.size());
+  auto sample_one = [&](std::size_t i) {
+    const auto [s, t] = pairs[i];
+    if (s == t) return;
+    const int count = draws(i);
+    sampled[i].reserve(static_cast<std::size_t>(count));
+    for (int k = 0; k < count; ++k) {
+      sampled[i].push_back(routing.sample_path(s, t, streams[i]));
+    }
+  };
+  if (pool) {
+    pool->parallel_for(pairs.size(), sample_one);
+  } else {
+    for (std::size_t i = 0; i < pairs.size(); ++i) sample_one(i);
+  }
   PathSystem ps(routing.graph().num_vertices());
-  for (const auto& [s, t] : pairs) {
-    if (s == t) continue;
-    for (int i = 0; i < alpha; ++i) {
-      ps.add_path(s, t, routing.sample_path(s, t, rng));
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (Path& path : sampled[i]) {
+      ps.add_path(pairs[i].first, pairs[i].second, std::move(path));
     }
   }
   return ps;
+}
+
+}  // namespace
+
+PathSystem sample_path_system(const ObliviousRouting& routing, int alpha,
+                              const std::vector<std::pair<int, int>>& pairs,
+                              Rng& rng, util::ThreadPool* pool) {
+  assert(alpha >= 1);
+  return sample_pairs(routing, pairs, rng, pool,
+                      [alpha](std::size_t) { return alpha; });
 }
 
 std::vector<std::pair<int, int>> all_ordered_pairs(int n) {
@@ -75,26 +106,24 @@ std::vector<std::pair<int, int>> all_ordered_pairs(int n) {
 }
 
 PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
-                                        int alpha, Rng& rng) {
+                                        int alpha, Rng& rng,
+                                        util::ThreadPool* pool) {
   return sample_path_system(routing, alpha,
                             all_ordered_pairs(routing.graph().num_vertices()),
-                            rng);
+                            rng, pool);
 }
 
 PathSystem sample_path_system_with_cut(
     const ObliviousRouting& routing, int alpha,
-    const std::vector<std::pair<int, int>>& pairs, Rng& rng) {
+    const std::vector<std::pair<int, int>>& pairs, Rng& rng,
+    util::ThreadPool* pool) {
   assert(alpha >= 1);
   const Graph& g = routing.graph();
-  PathSystem ps(g.num_vertices());
-  for (const auto& [s, t] : pairs) {
-    if (s == t) continue;
-    const int count = alpha + cut_value(g, s, t);
-    for (int i = 0; i < count; ++i) {
-      ps.add_path(s, t, routing.sample_path(s, t, rng));
-    }
-  }
-  return ps;
+  // The Dinic cut runs inside the fan-out too: it is deterministic, so it
+  // only affects the per-pair draw count, never the stream assignment.
+  return sample_pairs(routing, pairs, rng, pool, [&](std::size_t i) {
+    return alpha + cut_value(g, pairs[i].first, pairs[i].second);
+  });
 }
 
 std::vector<std::pair<int, int>> support_pairs(const Demand& d) {

@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "oblivious/routing.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sor {
 
@@ -66,19 +67,27 @@ std::vector<std::pair<int, int>> all_ordered_pairs(int n);
 
 /// alpha-sample of an oblivious routing R over the given pairs: for each
 /// pair, `alpha` independent draws from R(s, t) (with replacement).
+///
+/// Each pair draws from its own Rng stream, seed-split from `rng` in pair
+/// order, so the sampled system is a pure function of (pairs, seed): pass
+/// a `pool` and the pairs are sampled concurrently with bit-identical
+/// output for every thread count (including none).
 PathSystem sample_path_system(const ObliviousRouting& routing, int alpha,
                               const std::vector<std::pair<int, int>>& pairs,
-                              Rng& rng);
+                              Rng& rng, util::ThreadPool* pool = nullptr);
 
 /// alpha-sample over ALL ordered vertex pairs (quadratic; small graphs).
 PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
-                                        int alpha, Rng& rng);
+                                        int alpha, Rng& rng,
+                                        util::ThreadPool* pool = nullptr);
 
 /// (alpha + cut_G)-sample (Definition 5.2): alpha + cut_G(s, t) draws per
-/// pair. Min cuts are computed with Dinic on the host graph.
+/// pair. Min cuts are computed with Dinic on the host graph. Same
+/// seed-split determinism contract as sample_path_system.
 PathSystem sample_path_system_with_cut(
     const ObliviousRouting& routing, int alpha,
-    const std::vector<std::pair<int, int>>& pairs, Rng& rng);
+    const std::vector<std::pair<int, int>>& pairs, Rng& rng,
+    util::ThreadPool* pool = nullptr);
 
 /// The support pairs of a demand (convenience for the samplers above).
 std::vector<std::pair<int, int>> support_pairs(const Demand& d);

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <optional>
+
 #include "api/backend_registry.h"
+#include "util/thread_pool.h"
 
 namespace sor {
 
@@ -13,12 +16,15 @@ RackeRouting::RackeRouting(const Graph& g, const RackeOptions& options,
                            Rng& rng)
     : g_(&g) {
   assert(options.num_trees >= 1);
+  assert(options.wave >= 1);
   assert(g.is_connected());
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
   std::vector<double> load(m, 0.0);
   std::vector<double> lengths(m, 0.0);
   trees_.reserve(static_cast<std::size_t>(options.num_trees));
-  for (int i = 0; i < options.num_trees; ++i) {
+  util::ThreadPool pool(options.threads);
+  for (int base = 0; base < options.num_trees; base += options.wave) {
+    const int count = std::min(options.wave, options.num_trees - base);
     double max_rel = 0.0;
     for (std::size_t e = 0; e < m; ++e) {
       max_rel = std::max(max_rel,
@@ -29,8 +35,17 @@ RackeRouting::RackeRouting(const Graph& g, const RackeOptions& options,
       const double rel = max_rel > 0.0 ? (load[e] / cap) / max_rel : 0.0;
       lengths[e] = std::exp(options.eta * rel) / cap;
     }
-    trees_.emplace_back(g, lengths, rng);
-    trees_.back().accumulate_embedding_load(g, load);
+    // One seed-split stream per tree of the wave, then an independent
+    // build per tree: the wave's output is invariant to thread count.
+    std::vector<Rng> streams = rng.split(static_cast<std::size_t>(count));
+    std::vector<std::optional<FrtTree>> wave(static_cast<std::size_t>(count));
+    pool.parallel_for(static_cast<std::size_t>(count), [&](std::size_t i) {
+      wave[i].emplace(g, lengths, streams[i]);
+    });
+    for (std::optional<FrtTree>& tree : wave) {
+      trees_.push_back(std::move(*tree));
+      trees_.back().accumulate_embedding_load(g, load);
+    }
   }
   double max_rel = 0.0;
   for (std::size_t e = 0; e < m; ++e) {
@@ -53,14 +68,22 @@ void register_racke_backends(BackendRegistry& registry) {
       "racke",
       {"Raecke-style distribution over MWU-reweighted FRT trees "
        "(general connected graphs)",
-       {"num_trees", "eta"},
+       {"num_trees", "eta", "wave", "threads"},
        [](const Graph& g, const BackendSpec& spec,
           Rng& rng) -> std::unique_ptr<ObliviousRouting> {
          RackeOptions options;
          options.num_trees = spec.param_int("num_trees", options.num_trees);
          options.eta = spec.param("eta", options.eta);
+         options.wave = spec.param_int("wave", options.wave);
+         options.threads = spec.param_int("threads", options.threads);
          if (options.num_trees < 1) {
            throw std::invalid_argument("racke: num_trees must be >= 1");
+         }
+         if (options.wave < 1) {
+           throw std::invalid_argument("racke: wave must be >= 1");
+         }
+         if (options.threads < 0) {
+           throw std::invalid_argument("racke: threads must be >= 0");
          }
          return std::make_unique<RackeRouting>(g, options, rng);
        }});

@@ -28,6 +28,16 @@ struct RackeOptions {
   int num_trees = 12;
   /// MWU aggressiveness; the exponent is eta * (rel load / max rel load).
   double eta = 6.0;
+  /// MWU update granularity: edge lengths are re-derived from the
+  /// accumulated embedding loads once per wave of this many trees, and the
+  /// trees within a wave are built independently from per-tree seed-split
+  /// Rng streams. That independence is what makes the construction
+  /// parallelizable; the wave size (not the thread count) is what defines
+  /// the output, so results are bit-identical for every `threads` value.
+  int wave = 4;
+  /// Threads for building the trees of a wave concurrently (<= wave is
+  /// useful). 1 = serial; 0 = hardware concurrency.
+  int threads = 1;
 };
 
 class RackeRouting final : public ObliviousRouting {

@@ -110,6 +110,17 @@ class Rng {
   /// Derives an independent child generator (for parallel experiment arms).
   Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
 
+  /// Seed-splits `n` independent child streams, forked in index order.
+  /// This is the determinism primitive of every parallel region: split
+  /// once on the calling thread, hand stream i to work item i, and the
+  /// output no longer depends on how items are scheduled across threads.
+  std::vector<Rng> split(std::size_t n) {
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) streams.push_back(fork());
+    return streams;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -59,4 +59,94 @@ void Table::print(std::ostream& out) const {
 
 void Table::print() const { print(std::cout); }
 
+namespace {
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// True iff `cell` is a valid JSON number token (RFC 8259: optional '-',
+/// integer part without leading zeros — stod accepts "+3"/".5"/"5.",
+/// JSON does not — optional fraction, optional exponent).
+bool is_json_number(const std::string& cell) {
+  std::size_t i = 0;
+  const std::size_t n = cell.size();
+  auto digits = [&] {  // consumes [0-9]*, true iff at least one consumed
+    const std::size_t start = i;
+    while (i < n && cell[i] >= '0' && cell[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < n && cell[i] == '-') ++i;
+  if (i >= n) return false;
+  if (cell[i] == '0') {
+    ++i;  // "0" but not "0123"
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < n && cell[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < n && (cell[i] == 'e' || cell[i] == 'E')) {
+    ++i;
+    if (i < n && (cell[i] == '+' || cell[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == n;
+}
+
+/// Numbers pass through as JSON numbers so downstream tooling can plot
+/// them without re-parsing; anything else becomes a JSON string.
+void append_json_value(std::string& out, const std::string& cell) {
+  if (is_json_number(cell)) {
+    out += cell;
+  } else {
+    append_json_string(out, cell);
+  }
+}
+
+}  // namespace
+
+std::string Table::to_json_rows(const std::string& experiment) const {
+  std::string out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ",\n";
+    out += "  {";
+    bool first = true;
+    if (!experiment.empty()) {
+      out += "\"experiment\": ";
+      append_json_string(out, experiment);
+      first = false;
+    }
+    for (std::size_t c = 0; c < headers_.size() && c < rows_[r].size(); ++c) {
+      if (!first) out += ", ";
+      first = false;
+      append_json_string(out, headers_[c]);
+      out += ": ";
+      append_json_value(out, rows_[r][c]);
+    }
+    out += '}';
+  }
+  return out;
+}
+
 }  // namespace sor

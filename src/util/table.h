@@ -29,6 +29,13 @@ class Table {
   /// Renders to stdout.
   void print() const;
 
+  /// Machine-readable form: one JSON object per row (header -> cell, plus
+  /// "experiment": `experiment` when non-empty), comma-joined WITHOUT the
+  /// surrounding array brackets so rows from several tables can accumulate
+  /// into one array (see bench_common.h's JsonSink). Cells that parse as
+  /// numbers are emitted as numbers, the rest as strings.
+  std::string to_json_rows(const std::string& experiment) const;
+
   std::size_t num_rows() const { return rows_.size(); }
 
  private:

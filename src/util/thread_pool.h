@@ -1,0 +1,74 @@
+// Fixed-size worker pool with deterministic fan-out helpers.
+//
+// The concurrency contract of this library is *shared-nothing fan-out*:
+// every parallel region splits N independent work items across workers,
+// each item writes only its own output slot, and any randomness comes from
+// a per-item Rng stream pre-split (Rng::split) from the caller's stream in
+// item order. Under that contract the result of a parallel region is a
+// pure function of (inputs, seed) — bit-identical for every thread count,
+// including 1 — which is what the route_batch / racke determinism tests
+// enforce.
+//
+// parallel_for may be called from inside a worker (e.g. a parallel
+// sampler invoked from a parallel backend build): nested calls run inline
+// on the calling worker instead of re-entering the queue, so the pool can
+// never deadlock on itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sor::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 means std::thread::hardware_concurrency(). A pool
+  /// of 1 spawns no workers at all; every region runs inline on the caller.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Degree of parallelism (the calling thread participates in every
+  /// region, so a pool of k owns k - 1 workers).
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(0), ..., body(n-1), work-stealing across the pool plus the
+  /// calling thread, and blocks until every iteration finished. The first
+  /// exception thrown by any iteration is rethrown here (remaining
+  /// iterations are abandoned, in-flight ones drain first). Safe to call
+  /// from inside a worker: nested regions run inline, serially.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// parallel_for that collects fn(i) into a vector, in index order. The
+  /// result type must be default-constructible.
+  template <typename F>
+  auto parallel_map(std::size_t n, F&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<F&, std::size_t>>> {
+    std::vector<std::decay_t<std::invoke_result_t<F&, std::size_t>>> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct ForState;
+
+  void worker_loop();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> jobs_;
+  bool stop_ = false;
+};
+
+}  // namespace sor::util

@@ -56,5 +56,37 @@ TEST(Table, NumRows) {
   EXPECT_EQ(table.num_rows(), 2u);
 }
 
+TEST(Table, JsonRowsEmitNumbersAndEscapedStrings) {
+  Table table({"name", "value", "note"});
+  table.row().cell("alpha").cell(1.5, 1).cell("plain");
+  table.row().cell("grid 4x4").cell(-3).cell("tab\there \"q\"");
+  const std::string rows = table.to_json_rows("exp1");
+  const std::string json = "[\n" + rows + "\n]";
+  EXPECT_NE(json.find("\"experiment\": \"exp1\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 1.5"), std::string::npos);   // number
+  EXPECT_NE(json.find("\"value\": -3"), std::string::npos);    // number
+  EXPECT_NE(json.find("\"name\": \"grid 4x4\""), std::string::npos);  // string
+  EXPECT_NE(json.find("tab\\there \\\"q\\\""), std::string::npos);  // escaped
+}
+
+TEST(Table, JsonRowsRejectNonJsonNumberTokens) {
+  // stod would accept all of these, but JSON parsers would not — they must
+  // come out quoted (the CI artifact is parsed with a strict JSON loader).
+  Table table({"c"});
+  for (const char* cell : {"+3", ".5", "5.", "0123", "nan", "inf", "1e"}) {
+    table.row().cell(cell);
+  }
+  table.row().cell("-0.5");  // and this one is a real JSON number
+  const std::string rows = table.to_json_rows("");
+  EXPECT_NE(rows.find("\"+3\""), std::string::npos);
+  EXPECT_NE(rows.find("\".5\""), std::string::npos);
+  EXPECT_NE(rows.find("\"5.\""), std::string::npos);
+  EXPECT_NE(rows.find("\"0123\""), std::string::npos);
+  EXPECT_NE(rows.find("\"nan\""), std::string::npos);
+  EXPECT_NE(rows.find("\"inf\""), std::string::npos);
+  EXPECT_NE(rows.find("\"1e\""), std::string::npos);
+  EXPECT_NE(rows.find("{\"c\": -0.5}"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sor
