@@ -27,7 +27,7 @@ int main() {
 
   // Stage 2: install alpha = 4 candidate paths per pair, traffic-oblivious.
   const sor::PathSystem& candidates = engine.install_paths({.alpha = 4});
-  std::printf("installed %zu candidate paths (sparsity %d)\n",
+  std::printf("installed %zu candidate paths (sparsity %zu)\n",
               candidates.total_paths(), candidates.sparsity());
 
   // Traffic arrives: a random permutation demand.

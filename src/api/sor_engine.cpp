@@ -110,7 +110,7 @@ const PathSystem& SorEngine::install_paths(const SamplingSpec& spec) {
   const auto start = Clock::now();
   util::ThreadPool* workers = pool();
   if (spec.pairs.empty() && !spec.all_pairs) {
-    paths_ = PathSystem(graph_->num_vertices());  // explicit empty install
+    paths_ = PathSystem(*graph_);  // explicit empty install
   } else {
     std::vector<std::pair<int, int>> all;
     const std::vector<std::pair<int, int>>* pairs = &spec.pairs;

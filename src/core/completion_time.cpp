@@ -28,7 +28,7 @@ PathSystem sample_multi_scale_path_system(
     const std::vector<std::pair<int, int>>& pairs, Rng& rng) {
   assert(alpha >= 1 && !scales.empty());
   auto sampler = std::make_shared<const ShortestPathSampler>(g);
-  PathSystem ps(g.num_vertices());
+  PathSystem ps(g);
   for (int h : scales) {
     HopConstrainedRouting routing(g, h, sampler);
     ps.merge(sample_path_system(routing, alpha, pairs, rng));
@@ -59,7 +59,7 @@ CompletionTimeSolution route_completion_time(
   for (int cap : caps) {
     // Restrict the path system to paths within the cap; skip caps that
     // leave some pair uncovered.
-    PathSystem restricted(g.num_vertices());
+    PathSystem restricted(g);
     bool covered = true;
     for (const auto& [pair, value] : d.entries()) {
       bool any = false;

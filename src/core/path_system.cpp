@@ -10,7 +10,18 @@ namespace sor {
 void PathSystem::add_path(int s, int t, Path path) {
   assert(s != t);
   assert(!path.empty() && path.front() == s && path.back() == t);
-  paths_[{s, t}].push_back(std::move(path));
+#ifndef NDEBUG
+  if (n_ > 0) {
+    for (int v : path) assert(v >= 0 && v < n_ && "path vertex out of range");
+  }
+#endif
+  if (store_.graph() != nullptr) {
+    refs_[pair_key(s, t)].push_back(store_.intern(path));
+  }
+  auto& list = paths_[{s, t}];
+  list.push_back(std::move(path));
+  ++total_paths_;
+  sparsity_ = std::max(sparsity_, list.size());
 }
 
 const std::vector<Path>& PathSystem::paths(int s, int t) const {
@@ -22,28 +33,70 @@ const std::vector<Path>& PathSystem::paths(int s, int t) const {
   return it == paths_.end() ? kNoPaths : it->second;
 }
 
+std::span<const PathRef> PathSystem::refs(int s, int t) const {
+  auto it = refs_.find(pair_key(s, t));
+  if (it == refs_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
 bool PathSystem::has_pair(int s, int t) const {
   return paths_.find({s, t}) != paths_.end();
 }
 
-int PathSystem::sparsity() const {
-  std::size_t best = 0;
-  for (const auto& [pair, list] : paths_) best = std::max(best, list.size());
-  return static_cast<int>(best);
-}
-
-std::size_t PathSystem::total_paths() const {
-  std::size_t total = 0;
-  for (const auto& [pair, list] : paths_) total += list.size();
-  return total;
-}
-
 void PathSystem::merge(const PathSystem& other) {
   assert(n_ == 0 || other.num_vertices() == 0 || n_ == other.num_vertices());
+  // When both systems are interned against the same graph, slabs are copied
+  // arena-to-arena without re-resolving edges; otherwise (this bound, other
+  // not or differently bound) paths are re-interned through edge_between.
+  const bool adopt =
+      store_.graph() != nullptr && store_.graph() == other.store_.graph();
+  std::vector<PathRef> staged;
   for (const auto& [pair, list] : other.entries()) {
+    if (store_.graph() != nullptr) {
+      // Stage the pair's refs before touching refs_/paths_: intern may
+      // throw (untransferable path), and refs(s,t) must stay aligned with
+      // paths(s,t) — a caller that catches keeps a consistent system with
+      // every fully-processed pair merged and the failing pair untouched.
+      staged.clear();
+      if (adopt) {
+        for (PathRef ref : other.refs(pair.first, pair.second)) {
+          staged.push_back(store_.adopt(other.store_, ref));
+        }
+      } else {
+        for (const Path& p : list) staged.push_back(store_.intern(p));
+      }
+      auto& refs = refs_[pair_key(pair.first, pair.second)];
+      refs.insert(refs.end(), staged.begin(), staged.end());
+    }
     auto& mine = paths_[pair];
     mine.insert(mine.end(), list.begin(), list.end());
+    total_paths_ += list.size();
+    sparsity_ = std::max(sparsity_, mine.size());
   }
+}
+
+FlatCandidates flat_candidates(const PathSystem& ps,
+                               const std::vector<Commodity>& commodities) {
+  assert(ps.store().graph() != nullptr &&
+         "flat_candidates requires a graph-bound path system");
+  const PathStore& store = ps.store();
+  FlatCandidates flat;
+  std::size_t total_paths = 0;
+  std::size_t total_edges = 0;
+  for (const Commodity& c : commodities) {
+    for (PathRef ref : ps.refs(c.s, c.t)) {
+      ++total_paths;
+      total_edges += static_cast<std::size_t>(ref.hops);
+    }
+  }
+  flat.reserve(total_paths, total_edges);
+  for (const Commodity& c : commodities) {
+    for (PathRef ref : ps.refs(c.s, c.t)) {
+      flat.add_path(store.edge_ids(ref));
+    }
+    flat.end_commodity();
+  }
+  return flat;
 }
 
 namespace {
@@ -72,7 +125,7 @@ PathSystem sample_pairs(const ObliviousRouting& routing,
   } else {
     for (std::size_t i = 0; i < pairs.size(); ++i) sample_one(i);
   }
-  PathSystem ps(routing.graph().num_vertices());
+  PathSystem ps(routing.graph());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     for (Path& path : sampled[i]) {
       ps.add_path(pairs[i].first, pairs[i].second, std::move(path));

@@ -5,13 +5,26 @@
 // A path system is THE semi-oblivious routing object: the candidate paths
 // are fixed obliviously (Stage 2); route weights are chosen adaptively per
 // demand by core/semi_oblivious.h (Stage 4).
+//
+// Storage is two-layered. The boundary layer keeps vertex-sequence `Path`s
+// in a std::map — the representation backends, serialization, and tests
+// speak. A graph-BOUND system (constructed from a Graph, as every sampler
+// does) additionally interns each path into a flat PathStore arena with
+// precomputed edge ids, indexed by packed (s,t) int64 key -> [PathRef]; the
+// hot consumers (route_fractional's MWU loop, rounding, packet simulation)
+// iterate those spans with zero hashing and zero allocation, and produce
+// bit-identical results to the boundary representation.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/demand.h"
+#include "core/path_store.h"
 #include "graph/graph.h"
 #include "oblivious/routing.h"
 #include "util/rng.h"
@@ -26,10 +39,16 @@ class PathSystem {
  public:
   PathSystem() = default;
   explicit PathSystem(int num_vertices) : n_(num_vertices) {}
+  /// Graph-bound construction: paths are additionally interned into the
+  /// flat PathStore with edge ids precomputed at insertion. `g` is not
+  /// owned and must outlive every add_path/merge/flat access.
+  explicit PathSystem(const Graph& g)
+      : n_(g.num_vertices()), store_(g) {}
 
   int num_vertices() const { return n_; }
 
-  /// Appends a candidate (s, t)-path. The path must run from s to t.
+  /// Appends a candidate (s, t)-path. The path must run from s to t; in
+  /// debug builds every vertex is validated against num_vertices().
   void add_path(int s, int t, Path path);
 
   /// Candidate paths for a pair. A miss returns a reference to a single
@@ -39,11 +58,11 @@ class PathSystem {
 
   bool has_pair(int s, int t) const;
 
-  /// max_{(s,t)} |P(s, t)| (with multiplicity).
-  int sparsity() const;
+  /// max_{(s,t)} |P(s, t)| (with multiplicity). O(1): maintained on insert.
+  std::size_t sparsity() const { return sparsity_; }
 
-  /// Total number of stored paths.
-  std::size_t total_paths() const;
+  /// Total number of stored paths. O(1): maintained on insert.
+  std::size_t total_paths() const { return total_paths_; }
 
   /// Number of pairs with at least one path.
   std::size_t num_pairs() const { return paths_.size(); }
@@ -55,12 +74,45 @@ class PathSystem {
 
   /// Merges another path system into this one (pairwise union of path
   /// lists; used by the multi-scale completion-time construction, Lemma 2.8).
+  /// When this system is graph-bound, other's paths are re-interned against
+  /// OUR graph (slabs are adopted arena-to-arena when both are bound to the
+  /// same graph); a path that does not transfer — consecutive vertices not
+  /// adjacent here — throws std::invalid_argument rather than storing a
+  /// poisoned edge id.
   void merge(const PathSystem& other);
 
+  // ---- flat substrate (graph-bound systems only) -----------------------
+
+  /// True iff this system was built bound to exactly `g`, i.e. the interned
+  /// edge-id spans below are valid for `g` and hot loops may use them.
+  bool flat_for(const Graph& g) const { return store_.graph() == &g; }
+
+  /// The interning arena (empty for unbound systems).
+  const PathStore& store() const { return store_; }
+
+  /// Interned refs for a pair, in the same order as paths(s, t). Empty for
+  /// a miss or an unbound system.
+  std::span<const PathRef> refs(int s, int t) const;
+
  private:
+  static std::int64_t pair_key(int s, int t) {
+    return (static_cast<std::int64_t>(s) << 32) |
+           static_cast<std::uint32_t>(t);
+  }
+
   int n_ = 0;
   std::map<std::pair<int, int>, std::vector<Path>> paths_;
+  PathStore store_;
+  std::unordered_map<std::int64_t, std::vector<PathRef>> refs_;
+  std::size_t sparsity_ = 0;
+  std::size_t total_paths_ = 0;
 };
+
+/// Zero-hashing gather: the flat candidate view of `commodities` over a
+/// graph-bound path system (spans copied straight from the interning
+/// arena). Requires ps.flat_for(the graph the commodities live on).
+FlatCandidates flat_candidates(const PathSystem& ps,
+                               const std::vector<Commodity>& commodities);
 
 /// All n*(n-1) ordered vertex pairs, lexicographic.
 std::vector<std::pair<int, int>> all_ordered_pairs(int n);

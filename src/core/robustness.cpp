@@ -24,7 +24,7 @@ PathSystem surviving_paths(const Graph& g, const PathSystem& ps,
                            const std::vector<int>& failed_edges) {
   std::vector<char> failed(static_cast<std::size_t>(g.num_edges()), 0);
   for (int e : failed_edges) failed[static_cast<std::size_t>(e)] = 1;
-  PathSystem out(ps.num_vertices());
+  PathSystem out(g);
   for (const auto& [pair, list] : ps.entries()) {
     for (const Path& p : list) {
       bool ok = true;
@@ -63,7 +63,7 @@ FailureReport evaluate_under_failures(const Graph& g, const PathSystem& ps,
 
   // Re-map surviving paths onto the failed graph (vertex ids unchanged, so
   // vertex-sequence paths transfer directly) and re-optimize rates.
-  PathSystem remapped(failed_graph.num_vertices());
+  PathSystem remapped(failed_graph);
   for (const auto& [pair, value] : covered.entries()) {
     for (const Path& p : survivors.paths(pair.first, pair.second)) {
       remapped.add_path(pair.first, pair.second, p);

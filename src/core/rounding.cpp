@@ -4,17 +4,22 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <span>
+
+#include "core/path_store.h"
 
 namespace sor {
 namespace {
 
+/// Edge ids are resolved once per rounding entry point (one hash per hop);
+/// every trial / local-search move then iterates flat spans.
 std::vector<double> loads_of_choices(const Graph& g,
+                                     const FlatCandidates& flat,
                                      const IntegralSolution& solution) {
   std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
   for (std::size_t j = 0; j < solution.choices.size(); ++j) {
     for (int idx : solution.choices[j]) {
-      for (int e : path_edge_ids(g, solution.paths[j][static_cast<std::size_t>(
-                                      idx)])) {
+      for (int e : flat.edges(j, static_cast<std::size_t>(idx))) {
         load[static_cast<std::size_t>(e)] += 1.0;
       }
     }
@@ -31,12 +36,18 @@ double max_congestion(const Graph& g, const std::vector<double>& load) {
   return congestion;
 }
 
+double integral_congestion(const Graph& g, const FlatCandidates& flat,
+                           IntegralSolution& solution) {
+  solution.edge_load = loads_of_choices(g, flat, solution);
+  solution.congestion = max_congestion(g, solution.edge_load);
+  return solution.congestion;
+}
+
 }  // namespace
 
 double integral_congestion(const Graph& g, IntegralSolution& solution) {
-  solution.edge_load = loads_of_choices(g, solution);
-  solution.congestion = max_congestion(g, solution.edge_load);
-  return solution.congestion;
+  return integral_congestion(g, flatten_candidates(g, solution.paths),
+                             solution);
 }
 
 IntegralSolution round_randomized(const Graph& g,
@@ -48,6 +59,7 @@ IntegralSolution round_randomized(const Graph& g,
   best.paths = fractional.paths;
   best.congestion = std::numeric_limits<double>::infinity();
 
+  const FlatCandidates flat = flatten_candidates(g, fractional.paths);
   for (int trial = 0; trial < trials; ++trial) {
     IntegralSolution candidate;
     candidate.commodities = fractional.commodities;
@@ -65,7 +77,7 @@ IntegralSolution round_randomized(const Graph& g,
             rng.weighted_index(fractional.weights[j]));
       }
     }
-    integral_congestion(g, candidate);
+    integral_congestion(g, flat, candidate);
     if (candidate.congestion < best.congestion) best = std::move(candidate);
   }
   return best;
@@ -75,7 +87,7 @@ namespace {
 
 struct BranchState {
   const Graph* g;
-  const std::vector<std::vector<Path>>* paths;
+  const FlatCandidates* flat;
   std::vector<std::pair<std::size_t, int>> units;  // (commodity, unit idx)
   std::vector<double> load;
   double best;
@@ -91,8 +103,8 @@ void branch(BranchState& st, std::size_t unit_index, double current_max) {
     return;
   }
   const std::size_t j = st.units[unit_index].first;
-  for (const Path& p : (*st.paths)[j]) {
-    const auto edges = path_edge_ids(*st.g, p);
+  for (std::size_t i = 0; i < st.flat->num_paths(j); ++i) {
+    const auto edges = st.flat->edges(j, i);
     double new_max = current_max;
     for (int e : edges) {
       st.load[static_cast<std::size_t>(e)] += 1.0;
@@ -110,9 +122,10 @@ double exact_integral_congestion(const Graph& g,
                                  const std::vector<Commodity>& commodities,
                                  const std::vector<std::vector<Path>>& paths,
                                  long work_limit) {
+  const FlatCandidates flat = flatten_candidates(g, paths);
   BranchState st;
   st.g = &g;
-  st.paths = &paths;
+  st.flat = &flat;
   st.load.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
   st.best = std::numeric_limits<double>::infinity();
   st.work = 0;
@@ -129,8 +142,13 @@ double exact_integral_congestion(const Graph& g,
 
 void local_search_improve(const Graph& g, IntegralSolution& solution,
                           int max_moves) {
-  integral_congestion(g, solution);
+  const FlatCandidates flat = flatten_candidates(g, solution.paths);
+  integral_congestion(g, flat, solution);
   auto& load = solution.edge_load;
+
+  auto contains = [](std::span<const int> edges, int e) {
+    return std::find(edges.begin(), edges.end(), e) != edges.end();
+  };
 
   for (int move = 0; move < max_moves; ++move) {
     // Find the most congested edge.
@@ -152,25 +170,18 @@ void local_search_improve(const Graph& g, IntegralSolution& solution,
       for (std::size_t u = 0; u < solution.choices[j].size() && !improved;
            ++u) {
         const int current = solution.choices[j][u];
-        const auto current_edges = path_edge_ids(
-            g, solution.paths[j][static_cast<std::size_t>(current)]);
-        if (std::find(current_edges.begin(), current_edges.end(), hot) ==
-            current_edges.end()) {
-          continue;
-        }
-        for (std::size_t alt = 0; alt < solution.paths[j].size(); ++alt) {
+        const auto current_edges =
+            flat.edges(j, static_cast<std::size_t>(current));
+        if (!contains(current_edges, hot)) continue;
+        for (std::size_t alt = 0; alt < flat.num_paths(j); ++alt) {
           if (static_cast<int>(alt) == current) continue;
-          const auto alt_edges =
-              path_edge_ids(g, solution.paths[j][alt]);
+          const auto alt_edges = flat.edges(j, alt);
           // Congestion of alternative's edges if the unit moved there.
           double alt_peak = 0.0;
           for (int e : alt_edges) {
             double l = load[static_cast<std::size_t>(e)] + 1.0;
             // Discount edges shared with the current path (unit leaves them).
-            if (std::find(current_edges.begin(), current_edges.end(), e) !=
-                current_edges.end()) {
-              l -= 1.0;
-            }
+            if (contains(current_edges, e)) l -= 1.0;
             alt_peak = std::max(alt_peak, l / g.edge(e).capacity);
           }
           if (alt_peak < hot_cong) {

@@ -52,7 +52,15 @@ SemiObliviousSolution route_fractional(const Graph& g, const PathSystem& ps,
                                        const MinCongestionOptions& options) {
   auto commodities = d.commodities();
   auto paths = gather_candidates(ps, commodities);
-  auto result = min_congestion_over_paths(g, commodities, paths, options);
+  // Graph-bound systems carry interned edge-id spans: the whole solve runs
+  // on the flat representation with zero hashing. Unbound systems resolve
+  // edges once through the legacy bridge. Both produce bit-identical
+  // results (same candidates, same iteration order, same arithmetic).
+  auto result =
+      ps.flat_for(g)
+          ? min_congestion_over_paths(g, commodities,
+                                      flat_candidates(ps, commodities), options)
+          : min_congestion_over_paths(g, commodities, paths, options);
   return assemble(g, std::move(commodities), std::move(paths),
                   std::move(result));
 }

@@ -38,15 +38,16 @@ std::vector<std::vector<int>> all_pairs_hop_distances(const Graph& g) {
   return dist;
 }
 
-std::vector<double> dijkstra(const Graph& g, int source,
-                             const std::vector<double>& length,
-                             std::vector<int>* parent_edge) {
+void dijkstra_into(const Graph& g, int source,
+                   const std::vector<double>& length, std::span<double> dist,
+                   std::span<int> parent_edge) {
   assert(static_cast<int>(length.size()) == g.num_edges());
+  assert(static_cast<int>(dist.size()) == g.num_vertices());
+  assert(parent_edge.empty() ||
+         static_cast<int>(parent_edge.size()) == g.num_vertices());
   const double inf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(static_cast<std::size_t>(g.num_vertices()), inf);
-  if (parent_edge) {
-    parent_edge->assign(static_cast<std::size_t>(g.num_vertices()), -1);
-  }
+  std::fill(dist.begin(), dist.end(), inf);
+  std::fill(parent_edge.begin(), parent_edge.end(), -1);
   using Item = std::pair<double, int>;
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
   dist[static_cast<std::size_t>(source)] = 0.0;
@@ -61,10 +62,24 @@ std::vector<double> dijkstra(const Graph& g, int source,
       const double nd = d + length[static_cast<std::size_t>(e)];
       if (nd < dist[static_cast<std::size_t>(w)]) {
         dist[static_cast<std::size_t>(w)] = nd;
-        if (parent_edge) (*parent_edge)[static_cast<std::size_t>(w)] = e;
+        if (!parent_edge.empty()) {
+          parent_edge[static_cast<std::size_t>(w)] = e;
+        }
         heap.emplace(nd, w);
       }
     }
+  }
+}
+
+std::vector<double> dijkstra(const Graph& g, int source,
+                             const std::vector<double>& length,
+                             std::vector<int>* parent_edge) {
+  std::vector<double> dist(static_cast<std::size_t>(g.num_vertices()));
+  if (parent_edge) {
+    parent_edge->resize(static_cast<std::size_t>(g.num_vertices()));
+    dijkstra_into(g, source, length, dist, *parent_edge);
+  } else {
+    dijkstra_into(g, source, length, dist, {});
   }
   return dist;
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -25,6 +26,14 @@ std::vector<std::vector<int>> all_pairs_hop_distances(const Graph& g);
 std::vector<double> dijkstra(const Graph& g, int source,
                              const std::vector<double>& length,
                              std::vector<int>* parent_edge = nullptr);
+
+/// Dijkstra writing into caller-provided buffers of size num_vertices()
+/// (rows of a flat all-pairs matrix, say), avoiding the per-call
+/// allocations of `dijkstra` when sweeping many sources. `parent_edge` may
+/// be empty to skip parent tracking. Same algorithm, identical output.
+void dijkstra_into(const Graph& g, int source,
+                   const std::vector<double>& length, std::span<double> dist,
+                   std::span<int> parent_edge);
 
 /// One shortest s-t path under `length` (deterministic tie-breaking by edge
 /// id). Returns empty path if t is unreachable.

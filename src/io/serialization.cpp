@@ -79,7 +79,7 @@ void write_path_system(std::ostream& out, const PathSystem& ps) {
 }
 
 std::optional<PathSystem> read_path_system(std::istream& in, const Graph& g) {
-  PathSystem ps(g.num_vertices());
+  PathSystem ps(g);  // graph-bound: loaded paths are interned on the fly
   std::string line;
   while (next_content_line(in, line)) {
     std::istringstream ls(line);

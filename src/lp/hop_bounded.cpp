@@ -124,6 +124,10 @@ CongestionResult min_congestion_hop_bounded(
   // most violated column.
   const std::size_t k = commodities.size();
   std::vector<std::vector<Path>> columns(k);
+  // Edge ids of every discovered column, resolved exactly once when the
+  // column is added and reused by the dual certificate and every restricted
+  // solve below (the solver re-resolved them per outer iteration before).
+  std::vector<std::vector<std::vector<int>>> column_edges(k);
   std::vector<double> lengths(static_cast<std::size_t>(g.num_edges()));
   for (int e = 0; e < g.num_edges(); ++e) {
     lengths[static_cast<std::size_t>(e)] = 1.0 / g.edge(e).capacity;
@@ -139,16 +143,14 @@ CongestionResult min_congestion_hop_bounded(
     //   opt^(h) >= sum_j d_j * hopdist_w(s_j, t_j) / sum_e cap_e * w_e.
     double dual_numerator = 0.0;
     for (std::size_t j = 0; j < k; ++j) {
-      if (commodities[j].amount <= 0.0) {
-        if (columns[j].empty()) columns[j].push_back({});
-        continue;
-      }
+      if (commodities[j].amount <= 0.0) continue;
       Path p = hop_bounded_shortest_path(g, commodities[j].s,
                                          commodities[j].t, max_hops, lengths);
       assert(!p.empty() && "commodity unreachable within the hop bound");
       assert(hop_count(p) <= max_hops);
+      std::vector<int> edges = path_edge_ids(g, p);
       double cost = 0.0;
-      for (int e : path_edge_ids(g, p)) {
+      for (int e : edges) {
         cost += lengths[static_cast<std::size_t>(e)];
       }
       dual_numerator += commodities[j].amount * cost;
@@ -159,7 +161,10 @@ CongestionResult min_congestion_hop_bounded(
           break;
         }
       }
-      if (!duplicate) columns[j].push_back(std::move(p));
+      if (!duplicate) {
+        columns[j].push_back(std::move(p));
+        column_edges[j].push_back(std::move(edges));
+      }
     }
     double dual_denominator = 0.0;
     for (int e = 0; e < g.num_edges(); ++e) {
@@ -169,14 +174,12 @@ CongestionResult min_congestion_hop_bounded(
     if (dual_denominator > 0.0) {
       best_dual = std::max(best_dual, dual_numerator / dual_denominator);
     }
-    // Drop placeholder empty paths for zero-demand commodities.
-    std::vector<std::vector<Path>> usable(k);
+    // (b) optimize over the columns, on the flat representation.
+    FlatCandidates usable;
     for (std::size_t j = 0; j < k; ++j) {
-      for (const Path& p : columns[j]) {
-        if (!p.empty()) usable[j].push_back(p);
-      }
+      for (const auto& edges : column_edges[j]) usable.add_path(edges);
+      usable.end_commodity();
     }
-    // (b) optimize over the columns.
     CongestionResult result =
         min_congestion_over_paths(g, commodities, usable, options);
     if (result.congestion < best.congestion) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "graph/shortest_path.h"
 
@@ -12,14 +13,14 @@ namespace {
 
 /// Shared MWU loop. The `best_response` callback receives the current edge
 /// lengths (x_e / cap_e) and must, for each commodity j, select a path,
-/// record its edge ids into `chosen_edges[j]`, and return the total length
-/// of the chosen path in `chosen_len[j]`.
+/// expose its edge ids as `chosen_edges[j]` (a span valid until the next
+/// callback invocation), and return the total length of the chosen path in
+/// `chosen_len[j]`.
 template <typename BestResponse>
 CongestionResult run_mwu(const Graph& g,
                          const std::vector<Commodity>& commodities,
                          const MinCongestionOptions& options,
-                         BestResponse&& best_response,
-                         std::vector<std::vector<int>>* choice_counts) {
+                         BestResponse&& best_response) {
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
   const std::size_t k = commodities.size();
   CongestionResult result;
@@ -35,7 +36,7 @@ CongestionResult run_mwu(const Graph& g,
   std::vector<double> lengths(m, 0.0);
   std::vector<double> cumulative_load(m, 0.0);
   std::vector<double> round_load(m, 0.0);
-  std::vector<std::vector<int>> chosen_edges(k);
+  std::vector<std::span<const int>> chosen_edges(k);
   std::vector<double> chosen_len(k, 0.0);
 
   const double eta =
@@ -95,10 +96,6 @@ CongestionResult run_mwu(const Graph& g,
                     width_norm;
       }
     }
-    if (choice_counts) {
-      // Recorded by the best_response callback itself (restricted mode).
-    }
-
     if (round + 1 >= options.min_rounds && best_lower > 0.0) {
       double ub = 0.0;
       for (std::size_t e = 0; e < m; ++e) {
@@ -130,17 +127,17 @@ CongestionResult run_mwu(const Graph& g,
 
 double congestion_of_weights(const Graph& g,
                              const std::vector<Commodity>& commodities,
-                             const std::vector<std::vector<Path>>& paths,
+                             const FlatCandidates& candidates,
                              const std::vector<std::vector<double>>& weights,
                              std::vector<double>* edge_load) {
-  assert(paths.size() == commodities.size());
+  assert(candidates.num_commodities() == commodities.size());
   assert(weights.size() == commodities.size());
   std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
   for (std::size_t j = 0; j < commodities.size(); ++j) {
-    assert(weights[j].size() == paths[j].size());
-    for (std::size_t i = 0; i < paths[j].size(); ++i) {
+    assert(weights[j].size() == candidates.num_paths(j));
+    for (std::size_t i = 0; i < weights[j].size(); ++i) {
       if (weights[j][i] <= 0.0) continue;
-      for (int e : path_edge_ids(g, paths[j][i])) {
+      for (int e : candidates.edges(j, i)) {
         load[static_cast<std::size_t>(e)] += weights[j][i];
       }
     }
@@ -154,83 +151,363 @@ double congestion_of_weights(const Graph& g,
   return congestion;
 }
 
+double congestion_of_weights(const Graph& g,
+                             const std::vector<Commodity>& commodities,
+                             const std::vector<std::vector<Path>>& paths,
+                             const std::vector<std::vector<double>>& weights,
+                             std::vector<double>* edge_load) {
+  assert(paths.size() == commodities.size());
+  return congestion_of_weights(g, commodities, flatten_candidates(g, paths),
+                               weights, edge_load);
+}
+
+// The restricted MWU, specialized for the flat representation. This is THE
+// hot loop of the serving path (one solve per revealed demand), so it
+// carries every optimization that is provably BIT-IDENTICAL to the
+// reference loop in run_mwu + the naive per-path argmin:
+//
+//  * duplicate candidates are deduplicated up front: sampling is with
+//    replacement, and a duplicate's length always EQUALS its first
+//    occurrence, so the strict `<` argmin can never select it — dropping
+//    it from the scan changes nothing (its weight was always 0);
+//  * the adversary max_log is maintained incrementally (log_x only grows,
+//    and only on edges of chosen paths);
+//  * exp(log_x[e] - max_log) is cached and recomputed only for edges whose
+//    log_x changed while max_log is unchanged (exp is deterministic, so a
+//    reused value is the value the reference loop would recompute); when
+//    max_log does change, edges never touched by any chosen path all share
+//    log_x == +0.0, hence the one value exp(0.0 - max_log) — one exp and a
+//    fill instead of m exps;
+//  * lengths are computed only for edges that appear on SOME candidate
+//    path: the best response is the only reader of `lengths`, and it only
+//    ever indexes candidate edges (the reference computes all m entries
+//    and never reads the rest);
+//  * round loads are aggregated sparsely over the touched-edge set: for an
+//    untouched edge every reference update is `+= 0.0` or a max against
+//    0.0, which leaves IEEE doubles bit-unchanged;
+//  * the early-exit check short-circuits on the first violating edge (the
+//    reference computes a max and compares once; the boolean is the same).
 CongestionResult min_congestion_over_paths(
     const Graph& g, const std::vector<Commodity>& commodities,
-    const std::vector<std::vector<Path>>& candidate_paths,
-    const MinCongestionOptions& options) {
-  assert(candidate_paths.size() == commodities.size());
+    const FlatCandidates& candidates, const MinCongestionOptions& options) {
+  assert(candidates.num_commodities() == commodities.size());
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
   const std::size_t k = commodities.size();
 
-  // Precompute edge ids per candidate path once.
-  std::vector<std::vector<std::vector<int>>> edge_ids(k);
+  CongestionResult result;
+  result.edge_load.assign(m, 0.0);
+  if (k == 0 || m == 0) {
+    result.path_weights.assign(k, {});
+    for (std::size_t j = 0; j < k; ++j) {
+      result.path_weights[j].assign(candidates.num_paths(j), 0.0);
+    }
+    return result;
+  }
+
+  // ---- dedup into a tight scan arena -------------------------------------
+  // scan_first: prefix over dedup'd paths into scan_arena;
+  // commodity_scan_first: prefix over dedup'd path indices per commodity;
+  // original_index: first original candidate index of each dedup'd path.
+  std::vector<int> scan_arena;
+  std::vector<std::int64_t> scan_first{0};
+  std::vector<std::int64_t> commodity_scan_first{0};
+  std::vector<std::int32_t> original_index;
   for (std::size_t j = 0; j < k; ++j) {
-    assert(commodities[j].amount <= 0.0 || !candidate_paths[j].empty());
-    edge_ids[j].reserve(candidate_paths[j].size());
-    for (const Path& p : candidate_paths[j]) {
-      edge_ids[j].push_back(path_edge_ids(g, p));
+    const std::size_t num_paths = candidates.num_paths(j);
+    assert(commodities[j].amount <= 0.0 || num_paths > 0);
+    const std::size_t scan_begin =
+        static_cast<std::size_t>(commodity_scan_first.back());
+    for (std::size_t i = 0; i < num_paths; ++i) {
+      const auto span = candidates.edges(j, i);
+      bool duplicate = false;
+      for (std::size_t d = scan_begin; d < scan_first.size() - 1 && !duplicate;
+           ++d) {
+        const std::size_t len =
+            static_cast<std::size_t>(scan_first[d + 1] - scan_first[d]);
+        duplicate = len == span.size() &&
+                    std::equal(span.begin(), span.end(),
+                               scan_arena.begin() +
+                                   static_cast<std::ptrdiff_t>(scan_first[d]));
+      }
+      if (duplicate) continue;
+      scan_arena.insert(scan_arena.end(), span.begin(), span.end());
+      scan_first.push_back(static_cast<std::int64_t>(scan_arena.size()));
+      original_index.push_back(static_cast<std::int32_t>(i));
+    }
+    commodity_scan_first.push_back(
+        static_cast<std::int64_t>(scan_first.size()) - 1);
+  }
+  std::vector<int> counts(original_index.size(), 0);
+
+  // Dense capacity array (the Edge structs are 3x wider than needed here)
+  // and the distinct candidate edge set: the only edges whose lengths the
+  // best response will ever read.
+  std::vector<double> cap(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    cap[e] = g.edge(static_cast<int>(e)).capacity;
+  }
+  std::vector<int> cand_edges;
+  {
+    std::vector<char> in_cand(m, 0);
+    for (int e : scan_arena) {
+      if (!in_cand[static_cast<std::size_t>(e)]) {
+        in_cand[static_cast<std::size_t>(e)] = 1;
+        cand_edges.push_back(e);
+      }
     }
   }
 
-  std::vector<std::vector<int>> counts(k);
-  for (std::size_t j = 0; j < k; ++j) {
-    counts[j].assign(candidate_paths[j].size(), 0);
-  }
+  // ---- MWU state ---------------------------------------------------------
+  std::vector<double> log_x(m, 0.0);
+  std::vector<double> expv(m, 0.0);  // cached exp(log_x[e] - max_log)
+  std::vector<double> lengths(m, 0.0);
+  std::vector<double> cumulative_load(m, 0.0);
+  std::vector<double> round_load(m, 0.0);
+  std::vector<std::span<const int>> chosen_edges(k);
+  std::vector<double> chosen_len(k, 0.0);
+  std::vector<int> touched;       // edges with round_load != 0 this round
+  std::vector<int> active;        // edges with log_x != 0 (ever touched)
+  std::vector<int> dirty;         // active edges whose cached exp is stale
+  std::vector<char> is_active(m, 0);
+  std::vector<char> is_dirty(m, 0);
+  touched.reserve(m);
+  double max_log = 0.0;           // max over all-zero log_x
+  double cached_max_log = std::numeric_limits<double>::quiet_NaN();
 
-  auto best_response = [&](const std::vector<double>& lengths,
-                           std::vector<std::vector<int>>& chosen_edges,
-                           std::vector<double>& chosen_len) {
+  const double eta =
+      std::sqrt(std::log(static_cast<double>(m) + 2.0) /
+                static_cast<double>(std::max(options.rounds, 1)));
+
+  const int* arena = scan_arena.data();
+  double width_norm = 0.0;
+  double best_lower = 0.0;
+  int round = 0;
+  for (round = 0; round < options.rounds; ++round) {
+    // Normalize x from log-space. Cached exps are exact reuses; edges with
+    // log_x still at +0.0 all take the one value exp(0.0 - max_log); the
+    // total is re-summed over every edge in index order, as the reference
+    // does, so it is the same sum of the same values.
+    if (max_log == cached_max_log) {
+      for (int e : dirty) {
+        expv[static_cast<std::size_t>(e)] =
+            std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
+        is_dirty[static_cast<std::size_t>(e)] = 0;
+      }
+    } else {
+      std::fill(expv.begin(), expv.end(), std::exp(0.0 - max_log));
+      for (int e : active) {
+        expv[static_cast<std::size_t>(e)] =
+            std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
+      }
+      for (int e : dirty) is_dirty[static_cast<std::size_t>(e)] = 0;
+      cached_max_log = max_log;
+    }
+    dirty.clear();
+    double total = 0.0;
+    for (std::size_t e = 0; e < m; ++e) total += expv[e];
+    for (int e : cand_edges) {
+      const double xe = expv[static_cast<std::size_t>(e)] / total;
+      lengths[static_cast<std::size_t>(e)] =
+          xe / cap[static_cast<std::size_t>(e)];
+    }
+
+    // Best response: per commodity, argmin path length over the dedup'd
+    // scan arena (strict <, so relative order ties resolve exactly as the
+    // reference full scan does). Four paths are accumulated in interleaved
+    // lanes — each lane is its own left-to-right addition chain, so every
+    // path's sum is bit-identical to a serial evaluation; interleaving only
+    // breaks the latency dependence BETWEEN paths.
     for (std::size_t j = 0; j < k; ++j) {
-      chosen_edges[j].clear();
+      chosen_edges[j] = {};
       chosen_len[j] = 0.0;
-      if (commodities[j].amount <= 0.0 || candidate_paths[j].empty()) continue;
+      const std::size_t begin =
+          static_cast<std::size_t>(commodity_scan_first[j]);
+      const std::size_t end =
+          static_cast<std::size_t>(commodity_scan_first[j + 1]);
+      if (commodities[j].amount <= 0.0 || begin == end) continue;
       double best = std::numeric_limits<double>::infinity();
-      std::size_t best_i = 0;
-      for (std::size_t i = 0; i < edge_ids[j].size(); ++i) {
-        double len = 0.0;
-        for (int e : edge_ids[j][i]) len += lengths[static_cast<std::size_t>(e)];
+      std::size_t best_d = begin;
+      auto consider = [&](std::size_t d, double len) {
         if (len < best) {
           best = len;
-          best_i = i;
+          best_d = d;
+        }
+      };
+      std::size_t d = begin;
+      for (; d + 4 <= end; d += 4) {
+        const int* p0 = arena + scan_first[d];
+        const int* p1 = arena + scan_first[d + 1];
+        const int* p2 = arena + scan_first[d + 2];
+        const int* p3 = arena + scan_first[d + 3];
+        const std::size_t n0 = static_cast<std::size_t>(scan_first[d + 1] -
+                                                        scan_first[d]);
+        const std::size_t n1 = static_cast<std::size_t>(scan_first[d + 2] -
+                                                        scan_first[d + 1]);
+        const std::size_t n2 = static_cast<std::size_t>(scan_first[d + 3] -
+                                                        scan_first[d + 2]);
+        const std::size_t n3 = static_cast<std::size_t>(scan_first[d + 4] -
+                                                        scan_first[d + 3]);
+        const std::size_t common = std::min(std::min(n0, n1), std::min(n2, n3));
+        double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+        for (std::size_t i = 0; i < common; ++i) {
+          l0 += lengths[static_cast<std::size_t>(p0[i])];
+          l1 += lengths[static_cast<std::size_t>(p1[i])];
+          l2 += lengths[static_cast<std::size_t>(p2[i])];
+          l3 += lengths[static_cast<std::size_t>(p3[i])];
+        }
+        for (std::size_t i = common; i < n0; ++i) {
+          l0 += lengths[static_cast<std::size_t>(p0[i])];
+        }
+        for (std::size_t i = common; i < n1; ++i) {
+          l1 += lengths[static_cast<std::size_t>(p1[i])];
+        }
+        for (std::size_t i = common; i < n2; ++i) {
+          l2 += lengths[static_cast<std::size_t>(p2[i])];
+        }
+        for (std::size_t i = common; i < n3; ++i) {
+          l3 += lengths[static_cast<std::size_t>(p3[i])];
+        }
+        consider(d, l0);
+        consider(d + 1, l1);
+        consider(d + 2, l2);
+        consider(d + 3, l3);
+      }
+      for (; d < end; ++d) {
+        const int* p = arena + scan_first[d];
+        const int* stop = arena + scan_first[d + 1];
+        double len = 0.0;
+        for (; p != stop; ++p) len += lengths[static_cast<std::size_t>(*p)];
+        consider(d, len);
+      }
+      chosen_edges[j] = {arena + scan_first[best_d],
+                         static_cast<std::size_t>(scan_first[best_d + 1] -
+                                                  scan_first[best_d])};
+      chosen_len[j] = best;
+      ++counts[best_d];
+    }
+
+    // Dual certificate: opt >= sum_j d_j * dist(s_j,t_j) / sum_e x_e, and
+    // sum_e x_e == 1 after normalization.
+    double dual = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      dual += commodities[j].amount * chosen_len[j];
+    }
+    best_lower = std::max(best_lower, dual);
+
+    // Aggregate this round's pure-profile loads, sparsely: only edges of
+    // chosen paths are nonzero, and the reference's full-m passes are
+    // no-ops (+= 0.0, max vs 0.0) everywhere else.
+    for (std::size_t j = 0; j < k; ++j) {
+      for (int e : chosen_edges[j]) {
+        if (round_load[static_cast<std::size_t>(e)] == 0.0) touched.push_back(e);
+        round_load[static_cast<std::size_t>(e)] += commodities[j].amount;
+      }
+    }
+    double width = 0.0;
+    for (int e : touched) {
+      cumulative_load[static_cast<std::size_t>(e)] +=
+          round_load[static_cast<std::size_t>(e)];
+      width = std::max(width, round_load[static_cast<std::size_t>(e)] /
+                                  cap[static_cast<std::size_t>(e)]);
+    }
+    width_norm = std::max(width_norm, width);
+    if (width_norm > 0.0) {
+      for (int e : touched) {
+        log_x[static_cast<std::size_t>(e)] +=
+            eta * (round_load[static_cast<std::size_t>(e)] /
+                   cap[static_cast<std::size_t>(e)]) /
+            width_norm;
+        max_log = std::max(max_log, log_x[static_cast<std::size_t>(e)]);
+        if (!is_dirty[static_cast<std::size_t>(e)]) {
+          is_dirty[static_cast<std::size_t>(e)] = 1;
+          dirty.push_back(e);
+        }
+        if (!is_active[static_cast<std::size_t>(e)]) {
+          is_active[static_cast<std::size_t>(e)] = 1;
+          active.push_back(e);
         }
       }
-      chosen_edges[j] = edge_ids[j][best_i];
-      chosen_len[j] = best;
-      ++counts[j][best_i];
     }
-  };
+    for (int e : touched) round_load[static_cast<std::size_t>(e)] = 0.0;
+    touched.clear();
 
-  CongestionResult result =
-      run_mwu(g, commodities, options, best_response, nullptr);
+    if (round + 1 >= options.min_rounds && best_lower > 0.0) {
+      // Exit iff max_e cumulative/(rounds * cap) <= lower * gap, i.e. iff
+      // no edge violates; short-circuit on the first violation.
+      const double bar = best_lower * options.target_gap;
+      bool exit_now = true;
+      for (std::size_t e = 0; e < m; ++e) {
+        if (cumulative_load[e] /
+                (static_cast<double>(round + 1) * cap[e]) >
+            bar) {
+          exit_now = false;
+          break;
+        }
+      }
+      if (exit_now) {
+        ++round;
+        break;
+      }
+    }
+  }
 
-  // Convert choice counts into fractional weights; recompute the exact
-  // congestion of those weights (matches edge_load computed incrementally,
-  // but this keeps the result self-consistent by construction).
+  const double rounds_used = static_cast<double>(std::max(round, 1));
+  double congestion = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    result.edge_load[e] = cumulative_load[e] / rounds_used;
+    congestion = std::max(congestion, result.edge_load[e] / cap[e]);
+  }
+  result.congestion = congestion;
+  result.lower_bound = best_lower;
+  result.rounds_used = round;
+
+  // Convert choice counts into fractional weights over the ORIGINAL
+  // candidate indexing (duplicates keep their reference weight: 0), then
+  // recompute the exact congestion of those weights.
   result.path_weights.assign(k, {});
   int total_rounds = std::max(result.rounds_used, 1);
   for (std::size_t j = 0; j < k; ++j) {
-    result.path_weights[j].assign(candidate_paths[j].size(), 0.0);
+    result.path_weights[j].assign(candidates.num_paths(j), 0.0);
     if (commodities[j].amount <= 0.0) continue;
-    for (std::size_t i = 0; i < candidate_paths[j].size(); ++i) {
-      result.path_weights[j][i] = commodities[j].amount *
-                                  static_cast<double>(counts[j][i]) /
-                                  static_cast<double>(total_rounds);
+    const std::size_t begin = static_cast<std::size_t>(commodity_scan_first[j]);
+    const std::size_t end =
+        static_cast<std::size_t>(commodity_scan_first[j + 1]);
+    for (std::size_t d = begin; d < end; ++d) {
+      result.path_weights[j][static_cast<std::size_t>(original_index[d])] =
+          commodities[j].amount * static_cast<double>(counts[d]) /
+          static_cast<double>(total_rounds);
     }
   }
-  result.congestion = congestion_of_weights(g, commodities, candidate_paths,
+  result.congestion = congestion_of_weights(g, commodities, candidates,
                                             result.path_weights,
                                             &result.edge_load);
   return result;
 }
 
+CongestionResult min_congestion_over_paths(
+    const Graph& g, const std::vector<Commodity>& commodities,
+    const std::vector<std::vector<Path>>& candidate_paths,
+    const MinCongestionOptions& options) {
+  assert(candidate_paths.size() == commodities.size());
+  // One edge resolution per hop, here and never again: the solve itself
+  // runs on the flat representation.
+  return min_congestion_over_paths(
+      g, commodities, flatten_candidates(g, candidate_paths), options);
+}
+
 CongestionResult min_congestion_free(const Graph& g,
                                      const std::vector<Commodity>& commodities,
                                      const MinCongestionOptions& options) {
+  // Owns the per-commodity edge lists behind the spans handed to run_mwu
+  // (rebuilt every round; spans are re-pointed after each fill).
+  std::vector<std::vector<int>> owned(commodities.size());
   auto best_response = [&](const std::vector<double>& lengths,
-                           std::vector<std::vector<int>>& chosen_edges,
+                           std::vector<std::span<const int>>& chosen_edges,
                            std::vector<double>& chosen_len) {
     // Group commodities by source to share Dijkstra runs.
     for (std::size_t j = 0; j < commodities.size(); ++j) {
-      chosen_edges[j].clear();
+      owned[j].clear();
+      chosen_edges[j] = {};
       chosen_len[j] = 0.0;
     }
     std::vector<std::vector<std::size_t>> by_source(
@@ -253,14 +530,15 @@ CongestionResult min_congestion_free(const Graph& g,
         int v = t;
         while (v != s) {
           const int e = parent_edge[static_cast<std::size_t>(v)];
-          chosen_edges[j].push_back(e);
+          owned[j].push_back(e);
           v = g.edge(e).other(v);
         }
+        chosen_edges[j] = owned[j];
       }
     }
   };
 
-  return run_mwu(g, commodities, options, best_response, nullptr);
+  return run_mwu(g, commodities, options, best_response);
 }
 
 CongestionResult min_congestion_over_paths_exact(

@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "core/path_store.h"
 #include "graph/graph.h"
 #include "lp/simplex.h"
 
@@ -59,6 +60,16 @@ CongestionResult min_congestion_over_paths(
     const std::vector<std::vector<Path>>& candidate_paths,
     const MinCongestionOptions& options = {});
 
+/// Same solve over the flat, pre-resolved edge-id representation (the hot
+/// path: no hashing, no per-call edge resolution, contiguous iteration).
+/// `candidates` must hold one commodity entry per commodity, in order;
+/// every commodity with amount > 0 needs >= 1 candidate. Produces results
+/// bit-identical to the vertex-sequence overload on the same candidates.
+CongestionResult min_congestion_over_paths(
+    const Graph& g, const std::vector<Commodity>& commodities,
+    const FlatCandidates& candidates,
+    const MinCongestionOptions& options = {});
+
 /// Fractional min-congestion over ALL paths (the offline optimum, i.e. the
 /// maximum-concurrent-flow LP). Only congestion/lower_bound/edge_load are
 /// populated.
@@ -81,6 +92,13 @@ double min_congestion_free_exact(const Graph& g,
 double congestion_of_weights(const Graph& g,
                              const std::vector<Commodity>& commodities,
                              const std::vector<std::vector<Path>>& paths,
+                             const std::vector<std::vector<double>>& weights,
+                             std::vector<double>* edge_load = nullptr);
+
+/// Flat-representation variant (no hashing; bit-identical result).
+double congestion_of_weights(const Graph& g,
+                             const std::vector<Commodity>& commodities,
+                             const FlatCandidates& candidates,
                              const std::vector<std::vector<double>>& weights,
                              std::vector<double>* edge_load = nullptr);
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "graph/shortest_path.h"
 
@@ -11,9 +12,9 @@ namespace sor {
 namespace {
 
 /// Reconstructs the shortest path from `src` to `dst` given `parent_edge`
-/// produced by dijkstra(g, src, ...).
+/// produced by dijkstra_into(g, src, ...).
 Path reconstruct(const Graph& g, int src, int dst,
-                 const std::vector<int>& parent_edge) {
+                 std::span<const int> parent_edge) {
   Path reversed = {dst};
   int v = dst;
   while (v != src) {
@@ -34,20 +35,23 @@ FrtTree::FrtTree(const Graph& g, const std::vector<double>& edge_length,
   const int n = g.num_vertices();
   assert(n >= 1);
   assert(static_cast<int>(edge_length.size()) == g.num_edges());
+  const std::size_t sn = static_cast<std::size_t>(n);
 
-  // All-pairs shortest distances + parent pointers w.r.t. edge_length.
-  std::vector<std::vector<double>> dist;
-  std::vector<std::vector<int>> parent;
-  dist.reserve(static_cast<std::size_t>(n));
-  parent.reserve(static_cast<std::size_t>(n));
+  // All-pairs shortest distances + parent pointers w.r.t. edge_length, in
+  // flat n*n row-major buffers (one contiguous slab instead of n separate
+  // heap rows): dist[u*n + v]. The per-tree constructor dominates racke
+  // build time, so every Dijkstra writes straight into its row.
+  std::vector<double> dist(sn * sn);
+  std::vector<int> parent(sn * sn);
   double diameter = 0.0;
   double min_positive = std::numeric_limits<double>::infinity();
   for (int v = 0; v < n; ++v) {
-    std::vector<int> pe;
-    dist.push_back(dijkstra(g, v, edge_length, &pe));
-    parent.push_back(std::move(pe));
+    const std::size_t row = static_cast<std::size_t>(v) * sn;
+    dijkstra_into(g, v, edge_length,
+                  std::span<double>(dist.data() + row, sn),
+                  std::span<int>(parent.data() + row, sn));
     for (int w = 0; w < n; ++w) {
-      const double d = dist.back()[static_cast<std::size_t>(w)];
+      const double d = dist[row + static_cast<std::size_t>(w)];
       assert(d != std::numeric_limits<double>::infinity() &&
              "FRT requires a connected graph");
       diameter = std::max(diameter, d);
@@ -56,6 +60,9 @@ FrtTree::FrtTree(const Graph& g, const std::vector<double>& edge_length,
   }
   if (diameter <= 0.0) diameter = 1.0;
   if (!std::isfinite(min_positive)) min_positive = 1.0;
+  auto dist_at = [&](int u, int v) {
+    return dist[static_cast<std::size_t>(u) * sn + static_cast<std::size_t>(v)];
+  };
 
   // Random permutation and scale parameter beta in [1, 2).
   const std::vector<int> pi = rng.permutation(n);
@@ -71,12 +78,14 @@ FrtTree::FrtTree(const Graph& g, const std::vector<double>& edge_length,
   // Peel levels with geometrically decreasing radii until all clusters are
   // singletons.
   std::vector<int> frontier = {0};  // node ids whose clusters may split
+  std::vector<int> next_frontier;
+  std::vector<char> assigned;       // partition scratch, reused across levels
   double radius = beta * diameter;
   int depth = 0;
   while (!frontier.empty()) {
     radius /= 2.0;
     ++depth;
-    std::vector<int> next_frontier;
+    next_frontier.clear();
     for (int node_id : frontier) {
       auto cluster = std::move(members[static_cast<std::size_t>(node_id)]);
       members[static_cast<std::size_t>(node_id)].clear();
@@ -85,16 +94,17 @@ FrtTree::FrtTree(const Graph& g, const std::vector<double>& edge_length,
         continue;
       }
       // Partition by first permutation vertex within `radius`.
-      std::vector<char> assigned(cluster.size(), 0);
+      assigned.assign(cluster.size(), 0);
       std::size_t remaining = cluster.size();
       for (int u : pi) {
         if (remaining == 0) break;
+        // Loop-local on purpose: the buffer is moved into `members` for
+        // every non-empty child, so there is no capacity to reuse.
         std::vector<int> child_members;
         for (std::size_t i = 0; i < cluster.size(); ++i) {
           if (assigned[i]) continue;
           const int v = cluster[i];
-          if (dist[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] <=
-              radius) {
+          if (dist_at(u, v) <= radius) {
             assigned[i] = 1;
             --remaining;
             child_members.push_back(v);
@@ -114,7 +124,10 @@ FrtTree::FrtTree(const Graph& g, const std::vector<double>& edge_length,
         if (u_center != parent_center) {
           child.path_to_parent = reconstruct(
               g, parent_center, u_center,
-              parent[static_cast<std::size_t>(parent_center)]);
+              std::span<const int>(
+                  parent.data() +
+                      static_cast<std::size_t>(parent_center) * sn,
+                  sn));
           std::reverse(child.path_to_parent.begin(),
                        child.path_to_parent.end());
         }

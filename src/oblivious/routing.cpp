@@ -3,33 +3,59 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace sor {
 
 std::vector<double> estimate_edge_loads(const ObliviousRouting& routing,
                                         const std::vector<Commodity>& demand,
-                                        int samples_per_pair, Rng& rng) {
+                                        int samples_per_pair, Rng& rng,
+                                        util::ThreadPool* pool) {
   assert(samples_per_pair >= 1);
   const Graph& g = routing.graph();
-  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
-  for (const Commodity& c : demand) {
-    if (c.amount <= 0.0 || c.s == c.t) continue;
-    const double per_sample =
-        c.amount / static_cast<double>(samples_per_pair);
+  // Shared-nothing fan-out over commodities: stream j is seed-split from
+  // `rng` in commodity order BEFORE any sampling, each commodity records
+  // the edge ids it hit (in draw order), and the dense reduction below runs
+  // serially in commodity order. The result is therefore a pure function
+  // of (demand, samples, seed), independent of the pool's thread count.
+  std::vector<Rng> streams = rng.split(demand.size());
+  auto sample_one = [&](std::size_t j) {
+    std::vector<int> hits;
+    const Commodity& c = demand[j];
+    if (c.amount <= 0.0 || c.s == c.t) return hits;
     for (int i = 0; i < samples_per_pair; ++i) {
-      const Path p = routing.sample_path(c.s, c.t, rng);
-      for (int e : path_edge_ids(g, p)) {
-        load[static_cast<std::size_t>(e)] += per_sample;
-      }
+      const Path p = routing.sample_path(c.s, c.t, streams[j]);
+      const auto ids = path_edge_ids(g, p);
+      hits.insert(hits.end(), ids.begin(), ids.end());
     }
+    return hits;
+  };
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  auto fold = [&](std::size_t j, const std::vector<int>& hits) {
+    const double per_sample =
+        demand[j].amount / static_cast<double>(samples_per_pair);
+    for (int e : hits) load[static_cast<std::size_t>(e)] += per_sample;
+  };
+  if (pool) {
+    // Buffer per-commodity hit lists so the dense reduction can run in
+    // commodity order regardless of scheduling.
+    const auto hits = pool->parallel_map(demand.size(), sample_one);
+    for (std::size_t j = 0; j < demand.size(); ++j) fold(j, hits[j]);
+  } else {
+    // Serial: fold each commodity as it is sampled (same adds, same
+    // order, O(one commodity) extra memory).
+    for (std::size_t j = 0; j < demand.size(); ++j) fold(j, sample_one(j));
   }
   return load;
 }
 
 double estimate_congestion(const ObliviousRouting& routing,
                            const std::vector<Commodity>& demand,
-                           int samples_per_pair, Rng& rng) {
+                           int samples_per_pair, Rng& rng,
+                           util::ThreadPool* pool) {
   const Graph& g = routing.graph();
-  const auto load = estimate_edge_loads(routing, demand, samples_per_pair, rng);
+  const auto load =
+      estimate_edge_loads(routing, demand, samples_per_pair, rng, pool);
   double congestion = 0.0;
   for (int e = 0; e < g.num_edges(); ++e) {
     congestion = std::max(

@@ -17,6 +17,10 @@
 #include "lp/min_congestion.h"
 #include "util/rng.h"
 
+namespace sor::util {
+class ThreadPool;
+}
+
 namespace sor {
 
 /// Abstract oblivious routing over a fixed graph.
@@ -37,13 +41,22 @@ class ObliviousRouting {
 /// Monte-Carlo estimate of the expected per-edge load of routing `demand`
 /// with R: load_e = sum_j d_j * P[e in R(s_j, t_j)], each probability
 /// estimated from `samples_per_pair` draws.
+///
+/// Commodity j draws from its own Rng stream, seed-split from `rng` in
+/// commodity order, and the per-commodity contributions are reduced in
+/// commodity order — so the estimate is a pure function of (demand, seed):
+/// pass a `pool` and the commodities are sampled concurrently with
+/// bit-identical output for every thread count (including none).
 std::vector<double> estimate_edge_loads(const ObliviousRouting& routing,
                                         const std::vector<Commodity>& demand,
-                                        int samples_per_pair, Rng& rng);
+                                        int samples_per_pair, Rng& rng,
+                                        util::ThreadPool* pool = nullptr);
 
-/// Monte-Carlo estimate of cong(R, d) = max_e load_e / cap_e.
+/// Monte-Carlo estimate of cong(R, d) = max_e load_e / cap_e. Same
+/// seed-split determinism contract as estimate_edge_loads.
 double estimate_congestion(const ObliviousRouting& routing,
                            const std::vector<Commodity>& demand,
-                           int samples_per_pair, Rng& rng);
+                           int samples_per_pair, Rng& rng,
+                           util::ThreadPool* pool = nullptr);
 
 }  // namespace sor

@@ -28,14 +28,25 @@ SimulationResult simulate_packets(const Graph& g,
   const std::size_t num_packets = paths.size();
   result.traces.assign(num_packets, {});
 
+  // Resolve every packet's edge ids exactly once, into one flat arena; the
+  // static accounting below and the per-step hops of the simulation loop
+  // then index it instead of re-hashing through edge_between.
+  std::vector<int> edge_arena;
+  std::vector<std::size_t> first(num_packets + 1, 0);
+  for (std::size_t p = 0; p < num_packets; ++p) {
+    assert(!paths[p].empty());
+    const auto ids = path_edge_ids(g, paths[p]);
+    edge_arena.insert(edge_arena.end(), ids.begin(), ids.end());
+    first[p + 1] = edge_arena.size();
+  }
+
   // Static congestion/dilation of the input routing.
   std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
   for (std::size_t p = 0; p < num_packets; ++p) {
-    assert(!paths[p].empty());
     result.traces[p].hops = hop_count(paths[p]);
     result.dilation = std::max(result.dilation, result.traces[p].hops);
-    for (int e : path_edge_ids(g, paths[p])) {
-      load[static_cast<std::size_t>(e)] += 1.0;
+    for (std::size_t i = first[p]; i < first[p + 1]; ++i) {
+      load[static_cast<std::size_t>(edge_arena[i])] += 1.0;
     }
   }
   for (int e = 0; e < g.num_edges(); ++e) {
@@ -56,7 +67,7 @@ SimulationResult simulate_packets(const Graph& g,
     st.id = static_cast<int>(p);
     st.position = 0;
     st.priority = static_cast<int>(rng.uniform_u64(1u << 30));
-    const int e = g.edge_between(paths[p][0], paths[p][1]);
+    const int e = edge_arena[first[p]];
     queue[static_cast<std::size_t>(e)].push_back(st);
     ++remaining;
   }
@@ -106,15 +117,15 @@ SimulationResult simulate_packets(const Graph& g,
     }
     // Phase 2: winners advance one hop; requeue or deliver.
     for (PacketState st : movers) {
-      const Path& path = paths[static_cast<std::size_t>(st.id)];
+      const std::size_t p = static_cast<std::size_t>(st.id);
       ++st.position;
-      if (st.position == hop_count(path)) {
-        result.traces[static_cast<std::size_t>(st.id)].delivered_at = time;
+      if (st.position == result.traces[p].hops) {
+        result.traces[p].delivered_at = time;
         --remaining;
         continue;
       }
-      const int e = g.edge_between(path[static_cast<std::size_t>(st.position)],
-                                   path[static_cast<std::size_t>(st.position) + 1]);
+      const int e =
+          edge_arena[first[p] + static_cast<std::size_t>(st.position)];
       st.enqueued_at = time;
       queue[static_cast<std::size_t>(e)].push_back(st);
     }

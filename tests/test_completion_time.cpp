@@ -25,7 +25,7 @@ TEST(CompletionTime, MultiScaleSparsity) {
   const int alpha = 3;
   const PathSystem ps =
       sample_multi_scale_path_system(g, alpha, scales, pairs, rng);
-  EXPECT_EQ(ps.sparsity(), alpha * static_cast<int>(scales.size()));
+  EXPECT_EQ(ps.sparsity(), static_cast<std::size_t>(alpha) * scales.size());
 }
 
 TEST(CompletionTime, PrefersShortPathsWhenCongestionAllows) {

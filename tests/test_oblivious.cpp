@@ -6,6 +6,7 @@
 #include "graph/generators.h"
 #include "oblivious/shortest_path_routing.h"
 #include "oblivious/valiant.h"
+#include "util/thread_pool.h"
 
 namespace sor {
 namespace {
@@ -102,6 +103,31 @@ TEST(EstimateLoads, MatchesDeterministicRouting) {
   const auto loads = estimate_edge_loads(routing, demand, 4, rng);
   EXPECT_DOUBLE_EQ(loads[0], 2.0);
   EXPECT_DOUBLE_EQ(loads[1], 2.0);
+}
+
+TEST(EstimateLoads, ThreadCountInvariant) {
+  // Seed-split per-commodity streams: the estimate is a pure function of
+  // (demand, samples, seed), bit-identical with and without a pool.
+  const Graph g = gen::grid(5, 5);
+  RandomShortestPathRouting routing(g);
+  Rng demand_rng(9);
+  const Demand d = gen::random_permutation_demand(g.num_vertices(), demand_rng);
+
+  Rng serial_rng(42);
+  const auto serial =
+      estimate_edge_loads(routing, d.commodities(), 8, serial_rng);
+
+  util::ThreadPool pool(4);
+  Rng parallel_rng(42);
+  const auto parallel =
+      estimate_edge_loads(routing, d.commodities(), 8, parallel_rng, &pool);
+  EXPECT_EQ(serial, parallel);
+
+  Rng cong_serial(42);
+  Rng cong_parallel(42);
+  EXPECT_EQ(estimate_congestion(routing, d.commodities(), 8, cong_serial),
+            estimate_congestion(routing, d.commodities(), 8, cong_parallel,
+                                &pool));
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ TEST(PathSystem, AddAndQuery) {
   EXPECT_TRUE(ps.has_pair(0, 3));
   EXPECT_EQ(ps.paths(0, 3).size(), 2u);
   EXPECT_EQ(ps.paths(3, 0).size(), 0u);  // directed pairs
-  EXPECT_EQ(ps.sparsity(), 2);
+  EXPECT_EQ(ps.sparsity(), 2u);
   EXPECT_EQ(ps.total_paths(), 3u);
   EXPECT_EQ(ps.num_pairs(), 2u);
 }
@@ -43,7 +43,7 @@ TEST(PathSystem, AlphaSampleSparsityAndValidity) {
   const int alpha = 5;
   const PathSystem ps = sample_path_system(routing, alpha, pairs, rng);
   EXPECT_EQ(ps.num_pairs(), pairs.size());
-  EXPECT_EQ(ps.sparsity(), alpha);
+  EXPECT_EQ(ps.sparsity(), static_cast<std::size_t>(alpha));
   for (const auto& [s, t] : pairs) {
     ASSERT_EQ(ps.paths(s, t).size(), static_cast<std::size_t>(alpha));
     for (const Path& p : ps.paths(s, t)) {
@@ -58,7 +58,7 @@ TEST(PathSystem, AllPairsSampleCoversEverything) {
   Rng rng(2);
   const PathSystem ps = sample_path_system_all_pairs(routing, 2, rng);
   EXPECT_EQ(ps.num_pairs(), static_cast<std::size_t>(9 * 8));
-  EXPECT_EQ(ps.sparsity(), 2);
+  EXPECT_EQ(ps.sparsity(), 2u);
 }
 
 TEST(PathSystem, CutSampleSizesFollowMinCuts) {
