@@ -85,6 +85,50 @@ class JsonSink {
   std::string rows_;
 };
 
+// ---- canonical stage-row schema ----------------------------------------
+// One JsonSink field set across every throughput harness (m3/m4/m5), so
+// the CI perf-regression gate (tools/bench_gate.py) parses every artifact
+// uniformly:
+//   phase        stage name ("route", "free_route", "construct", ...)
+//   instance     topology/backend/batch description
+//   threads      pool width the row ran with (1 for single-thread stages)
+//   ms_per_op    wall-clock per operation
+//   ops_per_sec  1000 / ms_per_op (0 when unmeasurable)
+//   speedup      vs the row's IN-RUN control (legacy replica / 1-thread
+//                sweep point) — machine-independent, this is what the gate
+//                bounds; "-" when the row has no control
+//   identical    "yes"/"no" output-equality vs the control ("-" when not
+//                applicable; for fast-math rows: within the documented
+//                epsilon contract). The gate fails on any "no".
+
+inline Table stage_table() {
+  return Table({"phase", "instance", "threads", "ms_per_op", "ops_per_sec",
+                "speedup", "identical"});
+}
+
+/// Appends one canonical stage row. `total_ms` over `ops` operations;
+/// `speedup <= 0` and empty `identical` render as "-".
+inline void stage_row(Table& table, const std::string& phase,
+                      const std::string& instance, int threads,
+                      double total_ms, int ops, double speedup,
+                      const std::string& identical) {
+  const double ms_per_op = total_ms / static_cast<double>(ops);
+  const double ops_per_sec =
+      total_ms > 0.0 ? 1000.0 * static_cast<double>(ops) / total_ms : 0.0;
+  Table& r = table.row()
+                 .cell(phase)
+                 .cell(instance)
+                 .cell(threads)
+                 .cell(ms_per_op, 3)
+                 .cell(ops_per_sec, 1);
+  if (speedup > 0.0) {
+    r.cell(speedup, 2);
+  } else {
+    r.cell("-");
+  }
+  r.cell(identical.empty() ? "-" : identical);
+}
+
 /// A named test topology plus a matching oblivious substrate, both owned by
 /// a SorEngine built through the backend registry.
 struct Instance {

@@ -74,13 +74,9 @@ void sweep_racke_construction(Table& table, bool quick) {
       serial_signature = signature;
       serial_ms = elapsed;
     }
-    table.row()
-        .cell("construct")
-        .cell(instance)
-        .cell(threads)
-        .cell(elapsed, 1)
-        .cell(elapsed > 0.0 ? serial_ms / elapsed : 0.0, 2)
-        .cell(signature == serial_signature ? "yes" : "no");
+    sor::bench::stage_row(table, "construct", instance, threads, elapsed, 1,
+                          elapsed > 0.0 ? serial_ms / elapsed : 0.0,
+                          signature == serial_signature ? "yes" : "no");
   }
 }
 
@@ -121,13 +117,11 @@ void sweep_route_batch(Table& table, const std::string& instance_name,
     for (std::size_t i = 0; identical && i < loop_congestion.size(); ++i) {
       identical = batch.reports[i].congestion == loop_congestion[i];
     }
-    table.row()
-        .cell("route_batch")
-        .cell(instance_name + ",batch=" + std::to_string(batch_size))
-        .cell(threads)
-        .cell(batch.wall_ms, 1)
-        .cell(batch.wall_ms > 0.0 ? serial_ms / batch.wall_ms : 0.0, 2)
-        .cell(identical ? "yes" : "no");
+    sor::bench::stage_row(table, "route_batch",
+                          instance_name + ",batch=" + std::to_string(batch_size),
+                          threads, batch.wall_ms, batch_size,
+                          batch.wall_ms > 0.0 ? serial_ms / batch.wall_ms : 0.0,
+                          identical ? "yes" : "no");
   }
 }
 
@@ -141,7 +135,7 @@ int main(int argc, char** argv) {
          "wall-clock falls with threads while outputs stay bit-identical "
          "to the 1-thread run (seed-split determinism).");
 
-  Table table({"phase", "instance", "threads", "ms", "speedup", "identical"});
+  Table table = stage_table();
   sweep_racke_construction(table, args.quick);
 
   {

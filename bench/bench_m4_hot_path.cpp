@@ -244,20 +244,6 @@ CongestionResult route_fractional(const Graph& g, const PathSystem& ps,
 
 // ---------------------------------------------------------------------------
 
-struct StageRow {
-  double ms_per_op = 0.0;
-  double ops_per_sec = 0.0;
-};
-
-StageRow per_op(double total_ms, int ops) {
-  StageRow row;
-  row.ms_per_op = total_ms / static_cast<double>(ops);
-  row.ops_per_sec = total_ms > 0.0 ? 1000.0 * static_cast<double>(ops) /
-                                         total_ms
-                                   : 0.0;
-  return row;
-}
-
 /// A sparse "tenant" demand: `pairs` random unit-demand pairs on [0, n).
 /// This is the serving-loop shape the route stage is measured on — each
 /// revealed demand touches a sliver of a large shared substrate, which is
@@ -282,13 +268,7 @@ void bench_instance(Table& table, const std::string& name, Graph graph,
   sor::bench::Instance inst{
       name, SorEngine::build(std::move(graph), backend_spec, seed)};
   const double build_ms = ms_since(build_start);
-  table.row()
-      .cell("build")
-      .cell(name)
-      .cell(per_op(build_ms, 1).ms_per_op, 2)
-      .cell(per_op(build_ms, 1).ops_per_sec, 2)
-      .cell("-")
-      .cell("-");
+  sor::bench::stage_row(table, "build", name, 1, build_ms, 1, 0.0, "");
 
   SorEngine& engine = inst.engine;
   const int n = engine.graph().num_vertices();
@@ -307,13 +287,7 @@ void bench_instance(Table& table, const std::string& name, Graph graph,
     engine.install_paths(sampling);
     install_ms += ms_since(start);
   }
-  table.row()
-      .cell("install")
-      .cell(name)
-      .cell(per_op(install_ms, reps).ms_per_op, 2)
-      .cell(per_op(install_ms, reps).ops_per_sec, 2)
-      .cell("-")
-      .cell("-");
+  sor::bench::stage_row(table, "install", name, 1, install_ms, reps, 0.0, "");
 
   // ---- route: new flat representation vs pre-change representation --------
   const PathSystem& ps = engine.paths();
@@ -354,20 +328,11 @@ void bench_instance(Table& table, const std::string& name, Graph graph,
   }
 
   const int route_ops = reps * batch_size;
-  table.row()
-      .cell("route")
-      .cell(name)
-      .cell(per_op(route_ms, route_ops).ms_per_op, 3)
-      .cell(per_op(route_ms, route_ops).ops_per_sec, 1)
-      .cell(route_ms > 0.0 ? legacy_ms / route_ms : 0.0, 2)
-      .cell(identical ? "yes" : "no");
-  table.row()
-      .cell("route_legacy")
-      .cell(name)
-      .cell(per_op(legacy_ms, route_ops).ms_per_op, 3)
-      .cell(per_op(legacy_ms, route_ops).ops_per_sec, 1)
-      .cell(1.0, 2)
-      .cell(identical ? "yes" : "no");
+  sor::bench::stage_row(table, "route", name, 1, route_ms, route_ops,
+                        route_ms > 0.0 ? legacy_ms / route_ms : 0.0,
+                        identical ? "yes" : "no");
+  sor::bench::stage_row(table, "route_legacy", name, 1, legacy_ms, route_ops,
+                        1.0, identical ? "yes" : "no");
 
   // ---- route_batch (single-thread serving loop through the facade) --------
   double batch_ms = 0.0;
@@ -378,13 +343,9 @@ void bench_instance(Table& table, const std::string& name, Graph graph,
     assert(batch.reports.size() == demands.size());
     (void)batch;
   }
-  table.row()
-      .cell("route_batch")
-      .cell(name + ",batch=" + std::to_string(batch_size))
-      .cell(per_op(batch_ms, reps * batch_size).ms_per_op, 3)
-      .cell(per_op(batch_ms, reps * batch_size).ops_per_sec, 1)
-      .cell("-")
-      .cell("-");
+  sor::bench::stage_row(table, "route_batch",
+                        name + ",batch=" + std::to_string(batch_size), 1,
+                        batch_ms, reps * batch_size, 0.0, "");
 }
 
 }  // namespace
@@ -399,8 +360,7 @@ int main(int argc, char** argv) {
          "nested vectors); outputs must be bit-identical, speedup is the "
          "point.");
 
-  Table table({"phase", "instance", "ms_per_op", "ops_per_sec",
-               "speedup_vs_legacy", "identical"});
+  Table table = stage_table();
 
   const int reps = args.quick ? 2 : 3;
   {

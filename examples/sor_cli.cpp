@@ -41,6 +41,7 @@ struct Options {
   int threads = 1;
   int batch = 1;
   bool integral = false;
+  bool fast_math = false;
   std::string dot_path;
 };
 
@@ -51,13 +52,17 @@ void usage() {
       "               [--size N] [--alpha A] "
       "[--demand permutation|bitreversal|gravity|pairs]\n"
       "               [--backend SPEC] [--seed S] [--threads N] [--batch B]\n"
-      "               [--integral] [--dot FILE] [--list-backends]\n"
+      "               [--integral] [--fast-math] [--dot FILE] "
+      "[--list-backends]\n"
       "\n"
       "SPEC is a registry name with optional numeric params, e.g.\n"
       "  racke:num_trees=10,eta=6   (see --list-backends)\n"
       "--threads N runs build/install/batch-route on N workers (0 = all\n"
       "cores) with results identical to --threads 1; --batch B routes B\n"
-      "revealed demands concurrently over the one frozen PathSystem.\n");
+      "revealed demands concurrently over the one frozen PathSystem.\n"
+      "--fast-math opts the MWU solvers into the relaxed-bit-identity\n"
+      "accumulator-sum mode (outputs within 5%% of exact, certificates\n"
+      "stay valid; see MinCongestionOptions::fast_math). Off by default.\n");
 }
 
 void list_backends() {
@@ -113,6 +118,8 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
       opt.batch = std::atoi(v);
     } else if (!std::strcmp(argv[i], "--integral")) {
       opt.integral = true;
+    } else if (!std::strcmp(argv[i], "--fast-math")) {
+      opt.fast_math = true;
     } else if (!std::strcmp(argv[i], "--dot")) {
       const char* v = next("--dot");
       if (!v) return false;
@@ -225,6 +232,7 @@ int main(int argc, char** argv) {
 
   sor::RouteSpec route_spec;
   route_spec.round_integral = opt.integral;
+  route_spec.fast_math = opt.fast_math;
 
   if (opt.batch > 1) {
     const sor::BatchReport batch = engine.route_batch(demands, route_spec);

@@ -197,11 +197,16 @@ RouteReport SorEngine::route_one(const Demand& demand, const RouteSpec& spec,
   report.times.build_ms = build_ms_;
   report.times.sample_ms = sample_ms_;
 
+  // RouteSpec::fast_math is a convenience alias for mwu.fast_math; either
+  // spelling opts the whole route (restricted solve + optimum oracle) in.
+  MinCongestionOptions mwu = spec.mwu;
+  mwu.fast_math = mwu.fast_math || spec.fast_math;
+
   {
     const auto start = Clock::now();
     report.solution = spec.exact
                           ? route_fractional_exact(*graph_, ps, demand)
-                          : route_fractional(*graph_, ps, demand, spec.mwu);
+                          : route_fractional(*graph_, ps, demand, mwu);
     report.times.route_ms = ms_since(start);
   }
   report.congestion = report.solution.congestion;
@@ -215,7 +220,7 @@ RouteReport SorEngine::route_one(const Demand& demand, const RouteSpec& spec,
   }
   if (spec.compute_optimum) {
     const auto start = Clock::now();
-    report.optimum = optimal_congestion(*graph_, demand, spec.mwu);
+    report.optimum = optimal_congestion(*graph_, demand, mwu);
     report.times.optimum_ms = ms_since(start);
     lb = std::max(lb, report.optimum->value());
   }

@@ -71,6 +71,15 @@ struct SamplingSpec {
 /// Stage 3..5 knobs for one revealed demand.
 struct RouteSpec {
   MinCongestionOptions mwu;
+  /// Opt-in fast-math MWU (default OFF): forwarded into the restricted
+  /// solve AND the offline-optimum oracle as mwu.fast_math. Relaxes the
+  /// solvers' bit-identity guarantee to the epsilon contract documented on
+  /// MinCongestionOptions::fast_math — outputs within
+  /// 0.05 * max(1, exact) of the exact-mode run, with both runs still
+  /// exact certificates of the same LP — in exchange for a restricted-MWU
+  /// round cost proportional to the demand footprint instead of the graph
+  /// size. Exposed as `sor_cli --fast-math`.
+  bool fast_math = false;
   /// Exact LP instead of the MWU engine (tiny instances only).
   bool exact = false;
   /// Solve the offline optimum opt_{G}(d) for the competitive ratio.

@@ -104,14 +104,16 @@ double distance_lower_bound(const Graph& g, const Demand& d) {
     lengths[static_cast<std::size_t>(e)] = 1.0 / g.edge(e).capacity;
     denominator += 1.0;  // cap_e * w_e with w_e = 1/cap_e
   }
-  // One Dijkstra per distinct source in the support.
+  // One Dijkstra per distinct source in the support, into reused scratch
+  // (identical output to the allocating overload; see DijkstraScratch).
   double numerator = 0.0;
   int current_source = -1;
-  std::vector<double> dist;
+  std::vector<double> dist(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  DijkstraScratch scratch;
   for (const auto& [pair, value] : d.entries()) {
     if (pair.first != current_source) {
       current_source = pair.first;
-      dist = dijkstra(g, current_source, lengths);
+      dijkstra_into(g, current_source, lengths, dist, {}, scratch);
     }
     numerator += value * dist[static_cast<std::size_t>(pair.second)];
   }

@@ -21,8 +21,6 @@ DeletionProcessResult run_deletion_process(const Graph& g,
     std::size_t j;
     std::size_t i;
   };
-  std::vector<std::vector<PathRef>> paths_on_edge(
-      static_cast<std::size_t>(g.num_edges()));
   for (std::size_t j = 0; j < k; ++j) {
     const Commodity& c = result.commodities[j];
     const auto& candidates = ps.paths(c.s, c.t);
@@ -30,8 +28,17 @@ DeletionProcessResult run_deletion_process(const Graph& g,
     result.paths[j] = candidates;
     result.weights[j].assign(candidates.size(),
                              c.amount / static_cast<double>(candidates.size()));
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      for (int e : path_edge_ids(g, candidates[i])) {
+  }
+  // Edge ids resolved exactly once: zero-hashing gather from the interned
+  // spans of a graph-bound system, one edge_between per hop otherwise.
+  result.flat = ps.flat_for(g)
+                    ? flat_candidates(ps, result.commodities)
+                    : flatten_candidates(g, result.paths);
+  std::vector<std::vector<PathRef>> paths_on_edge(
+      static_cast<std::size_t>(g.num_edges()));
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < result.paths[j].size(); ++i) {
+      for (int e : result.flat.edges(j, i)) {
         paths_on_edge[static_cast<std::size_t>(e)].push_back(PathRef{j, i});
       }
     }
@@ -56,7 +63,7 @@ DeletionProcessResult run_deletion_process(const Graph& g,
       if (w <= 0.0) continue;
       result.weights[ref.j][ref.i] = 0.0;
       // Remove this path's weight from every edge it crosses.
-      for (int e2 : path_edge_ids(g, result.paths[ref.j][ref.i])) {
+      for (int e2 : result.flat.edges(ref.j, ref.i)) {
         load[static_cast<std::size_t>(e2)] -= w;
       }
     }
@@ -112,7 +119,7 @@ IterativeHalvingResult iterative_halving_route(const Graph& g,
       for (std::size_t i = 0; i < pass.paths[j].size(); ++i) {
         const double w = pass.weights[j][i] * scale;
         if (w <= 0.0) continue;
-        for (int e : path_edge_ids(g, pass.paths[j][i])) {
+        for (int e : pass.flat.edges(j, i)) {
           result.edge_load[static_cast<std::size_t>(e)] += w;
         }
       }
@@ -123,12 +130,21 @@ IterativeHalvingResult iterative_halving_route(const Graph& g,
     if (!any) break;  // the process cannot serve anything at this gamma
   }
 
-  // Flush whatever is left on the first candidate of each pair.
+  // Flush whatever is left on the first candidate of each pair, again over
+  // interned spans when the system is graph-bound.
+  const bool flat = ps.flat_for(g);
   for (const auto& [pair, value] : remaining.entries()) {
-    const auto& candidates = ps.paths(pair.first, pair.second);
-    assert(!candidates.empty());
-    for (int e : path_edge_ids(g, candidates.front())) {
-      result.edge_load[static_cast<std::size_t>(e)] += value;
+    assert(!ps.paths(pair.first, pair.second).empty());
+    if (flat) {
+      const auto refs = ps.refs(pair.first, pair.second);
+      for (int e : ps.store().edge_ids(refs.front())) {
+        result.edge_load[static_cast<std::size_t>(e)] += value;
+      }
+    } else {
+      const auto& candidates = ps.paths(pair.first, pair.second);
+      for (int e : path_edge_ids(g, candidates.front())) {
+        result.edge_load[static_cast<std::size_t>(e)] += value;
+      }
     }
     result.flushed_size += value;
   }

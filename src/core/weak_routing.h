@@ -21,6 +21,13 @@
 namespace sor {
 
 struct DeletionProcessResult {
+  /// Per-candidate edge ids, resolved exactly once per call: gathered
+  /// straight from the interned PathStore spans when the path system is
+  /// bound to the host graph, through Graph::edge_between otherwise.
+  /// flat.edges(j, i) parallels paths[j][i]; downstream consumers (the
+  /// iterative-halving reduction, benches) iterate these spans instead of
+  /// re-resolving edges per use.
+  FlatCandidates flat;
   /// d' — the fractional sub-demand actually routed (d'(s,t) <= d(s,t)).
   Demand routed;
   /// Exact congestion of the surviving weights (<= gamma by construction).

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
+#include <functional>
+#include <utility>
 
 namespace sor {
 
@@ -40,7 +41,7 @@ std::vector<std::vector<int>> all_pairs_hop_distances(const Graph& g) {
 
 void dijkstra_into(const Graph& g, int source,
                    const std::vector<double>& length, std::span<double> dist,
-                   std::span<int> parent_edge) {
+                   std::span<int> parent_edge, DijkstraScratch& scratch) {
   assert(static_cast<int>(length.size()) == g.num_edges());
   assert(static_cast<int>(dist.size()) == g.num_vertices());
   assert(parent_edge.empty() ||
@@ -48,13 +49,18 @@ void dijkstra_into(const Graph& g, int source,
   const double inf = std::numeric_limits<double>::infinity();
   std::fill(dist.begin(), dist.end(), inf);
   std::fill(parent_edge.begin(), parent_edge.end(), -1);
+  // A min-heap over (dist, vertex) run directly with push_heap/pop_heap on
+  // the reused scratch vector — the exact operation sequence of a
+  // std::priority_queue with std::greater, minus its per-call allocation.
   using Item = std::pair<double, int>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  std::vector<Item>& heap = scratch.heap;
+  heap.clear();
   dist[static_cast<std::size_t>(source)] = 0.0;
-  heap.emplace(0.0, source);
+  heap.emplace_back(0.0, source);
   while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
+    const auto [d, v] = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<Item>{});
+    heap.pop_back();
     if (d > dist[static_cast<std::size_t>(v)]) continue;
     for (int e : g.incident(v)) {
       assert(length[static_cast<std::size_t>(e)] >= 0.0);
@@ -65,7 +71,117 @@ void dijkstra_into(const Graph& g, int source,
         if (!parent_edge.empty()) {
           parent_edge[static_cast<std::size_t>(w)] = e;
         }
-        heap.emplace(nd, w);
+        heap.emplace_back(nd, w);
+        std::push_heap(heap.begin(), heap.end(), std::greater<Item>{});
+      }
+    }
+  }
+}
+
+void dijkstra_into(const Graph& g, int source,
+                   const std::vector<double>& length, std::span<double> dist,
+                   std::span<int> parent_edge) {
+  DijkstraScratch scratch;
+  dijkstra_into(g, source, length, dist, parent_edge, scratch);
+}
+
+FlatAdjacency::FlatAdjacency(const Graph& g) {
+  const int n = g.num_vertices();
+  first_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    first_[static_cast<std::size_t>(v) + 1] =
+        first_[static_cast<std::size_t>(v)] +
+        static_cast<std::int64_t>(g.incident(v).size());
+  }
+  arcs_.resize(static_cast<std::size_t>(first_[static_cast<std::size_t>(n)]));
+  for (int v = 0; v < n; ++v) {
+    std::int64_t offset = first_[static_cast<std::size_t>(v)];
+    for (int e : g.incident(v)) {
+      arcs_[static_cast<std::size_t>(offset++)] = Arc{g.edge(e).other(v), e};
+    }
+  }
+}
+
+namespace {
+
+// 4-ary min-heap primitives over the scratch vector. Items are distinct
+// (a vertex re-enters only with a strictly smaller dist) and compared by
+// the pair's total order, so the pop sequence equals any other correct
+// heap's — this is purely a constant-factor layout choice (shallower
+// sift-downs, cache-friendlier child blocks).
+using HeapItem = std::pair<double, int>;
+
+inline void heap4_push(std::vector<HeapItem>& a, double d, int v) {
+  a.emplace_back(d, v);
+  std::size_t i = a.size() - 1;
+  while (i > 0) {
+    const std::size_t p = (i - 1) >> 2;
+    if (a[p] <= a[i]) break;
+    std::swap(a[p], a[i]);
+    i = p;
+  }
+}
+
+inline HeapItem heap4_pop(std::vector<HeapItem>& a) {
+  const HeapItem top = a.front();
+  const HeapItem last = a.back();
+  a.pop_back();
+  if (!a.empty()) {
+    std::size_t i = 0;
+    const std::size_t n = a.size();
+    for (;;) {
+      const std::size_t c = (i << 2) + 1;
+      if (c >= n) break;
+      std::size_t best = c;
+      const std::size_t end = std::min(c + 4, n);
+      for (std::size_t j = c + 1; j < end; ++j) {
+        if (a[j] < a[best]) best = j;
+      }
+      if (a[best] < last) {
+        a[i] = a[best];
+        i = best;
+      } else {
+        break;
+      }
+    }
+    a[i] = last;
+  }
+  return top;
+}
+
+}  // namespace
+
+void dijkstra_into_targets(const FlatAdjacency& adj, int source,
+                           const std::vector<double>& length,
+                           std::span<double> dist, std::span<int> parent_edge,
+                           DijkstraScratch& scratch,
+                           const std::vector<char>& is_target,
+                           int num_targets) {
+  assert(static_cast<int>(dist.size()) == adj.num_vertices());
+  assert(parent_edge.empty() ||
+         static_cast<int>(parent_edge.size()) == adj.num_vertices());
+  assert(static_cast<int>(is_target.size()) == adj.num_vertices());
+  const double inf = std::numeric_limits<double>::infinity();
+  std::fill(dist.begin(), dist.end(), inf);
+  std::fill(parent_edge.begin(), parent_edge.end(), -1);
+  std::vector<HeapItem>& heap = scratch.heap;
+  heap.clear();
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace_back(0.0, source);
+  int remaining = num_targets;
+  while (!heap.empty()) {
+    const auto [d, v] = heap4_pop(heap);
+    if (d > dist[static_cast<std::size_t>(v)]) continue;
+    if (is_target[static_cast<std::size_t>(v)] && --remaining == 0) return;
+    for (const FlatAdjacency::Arc arc : adj.arcs(v)) {
+      assert(length[static_cast<std::size_t>(arc.edge)] > 0.0);
+      const double nd = d + length[static_cast<std::size_t>(arc.edge)];
+      if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+        dist[static_cast<std::size_t>(arc.to)] = nd;
+        if (!parent_edge.empty()) {
+          parent_edge[static_cast<std::size_t>(arc.to)] = arc.edge;
+        }
+        heap4_push(heap, nd, arc.to);
       }
     }
   }

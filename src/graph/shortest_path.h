@@ -35,6 +35,71 @@ void dijkstra_into(const Graph& g, int source,
                    const std::vector<double>& length, std::span<double> dist,
                    std::span<int> parent_edge);
 
+/// Reusable scratch for `dijkstra_into`: the binary heap's backing storage,
+/// kept hot across calls so a repeated best-response sweep (one Dijkstra
+/// per source per MWU round) allocates nothing after the first call. The
+/// heap discipline (std::push_heap/pop_heap over (dist, vertex) pairs with
+/// std::greater) is exactly what std::priority_queue performs, so output is
+/// bit-identical to the scratch-free overload.
+struct DijkstraScratch {
+  std::vector<std::pair<double, int>> heap;
+};
+
+/// Scratch-reusing variant of `dijkstra_into`; identical output.
+void dijkstra_into(const Graph& g, int source,
+                   const std::vector<double>& length, std::span<double> dist,
+                   std::span<int> parent_edge, DijkstraScratch& scratch);
+
+/// Flat CSR snapshot of a graph's incidence structure: per-vertex arc
+/// ranges of packed {neighbor, edge id} pairs, in exactly
+/// Graph::incident / Edge::other order. Built once (O(n + m)) and reused
+/// by scan-heavy repeated-Dijkstra loops (one Dijkstra per source per MWU
+/// round): the relaxation scan walks one contiguous 8-byte-per-arc array
+/// instead of chasing vector-of-vector incident lists and 24-byte Edge
+/// structs. Identical iteration order, hence bit-identical outputs.
+class FlatAdjacency {
+ public:
+  struct Arc {
+    int to;    ///< the neighbor Edge::other(v) would return
+    int edge;  ///< the edge id
+  };
+
+  explicit FlatAdjacency(const Graph& g);
+
+  int num_vertices() const { return static_cast<int>(first_.size()) - 1; }
+  std::span<const Arc> arcs(int v) const {
+    return {arcs_.data() + first_[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(first_[static_cast<std::size_t>(v) + 1] -
+                                     first_[static_cast<std::size_t>(v)])};
+  }
+
+ private:
+  std::vector<std::int64_t> first_;  // n + 1 prefix over arcs_
+  std::vector<Arc> arcs_;            // 2m packed arcs
+};
+
+/// Early-exit Dijkstra over a FlatAdjacency snapshot: stops as soon as
+/// every vertex flagged in `is_target` (exactly `num_targets` distinct
+/// flags) has been settled. Requires every length to be STRICTLY
+/// positive. Then, for every settled vertex — in particular every target
+/// and every vertex on a shortest path to one (strictly positive lengths
+/// put those at strictly smaller dist, hence settled strictly earlier,
+/// with parent pointers that can never be overwritten once settled) —
+/// `dist` and `parent_edge` are bit-identical to a full `dijkstra_into`
+/// run's; entries of unsettled vertices are unspecified (infinity/-1 or a
+/// tentative value). The scratch vector is run as a 4-ary min-heap: every
+/// heap item (dist, vertex) is distinct and the comparator is a total
+/// order, so the pop sequence — and with it every settled dist and parent
+/// pointer — is the same for ANY correct heap. Used by the free-path MWU,
+/// whose per-round best response only reads target distances and walks
+/// parents back from targets.
+void dijkstra_into_targets(const FlatAdjacency& adj, int source,
+                           const std::vector<double>& length,
+                           std::span<double> dist, std::span<int> parent_edge,
+                           DijkstraScratch& scratch,
+                           const std::vector<char>& is_target,
+                           int num_targets);
+
 /// One shortest s-t path under `length` (deterministic tie-breaking by edge
 /// id). Returns empty path if t is unreachable.
 Path shortest_path(const Graph& g, int s, int t,

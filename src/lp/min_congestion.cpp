@@ -9,121 +9,6 @@
 #include "graph/shortest_path.h"
 
 namespace sor {
-namespace {
-
-/// Shared MWU loop. The `best_response` callback receives the current edge
-/// lengths (x_e / cap_e) and must, for each commodity j, select a path,
-/// expose its edge ids as `chosen_edges[j]` (a span valid until the next
-/// callback invocation), and return the total length of the chosen path in
-/// `chosen_len[j]`.
-template <typename BestResponse>
-CongestionResult run_mwu(const Graph& g,
-                         const std::vector<Commodity>& commodities,
-                         const MinCongestionOptions& options,
-                         BestResponse&& best_response) {
-  const std::size_t m = static_cast<std::size_t>(g.num_edges());
-  const std::size_t k = commodities.size();
-  CongestionResult result;
-  result.edge_load.assign(m, 0.0);
-  if (k == 0 || m == 0) {
-    result.congestion = 0.0;
-    result.lower_bound = 0.0;
-    return result;
-  }
-
-  std::vector<double> log_x(m, 0.0);  // adversary weights in log space
-  std::vector<double> x(m, 1.0 / static_cast<double>(m));
-  std::vector<double> lengths(m, 0.0);
-  std::vector<double> cumulative_load(m, 0.0);
-  std::vector<double> round_load(m, 0.0);
-  std::vector<std::span<const int>> chosen_edges(k);
-  std::vector<double> chosen_len(k, 0.0);
-
-  const double eta =
-      std::sqrt(std::log(static_cast<double>(m) + 2.0) /
-                static_cast<double>(std::max(options.rounds, 1)));
-
-  // Payoffs are normalized by the width (the largest single-round relative
-  // edge load). The normalizer must be (close to) constant across rounds —
-  // a per-round normalizer distorts the game — so we track the running
-  // maximum, which stabilizes within the first few rounds because the
-  // greedy all-on-one-path responses concentrate load early.
-  double width_norm = 0.0;
-  double best_lower = 0.0;
-  int round = 0;
-  for (round = 0; round < options.rounds; ++round) {
-    // Normalize x from log-space.
-    double max_log = -std::numeric_limits<double>::infinity();
-    for (double lx : log_x) max_log = std::max(max_log, lx);
-    double total = 0.0;
-    for (std::size_t e = 0; e < m; ++e) {
-      x[e] = std::exp(log_x[e] - max_log);
-      total += x[e];
-    }
-    for (std::size_t e = 0; e < m; ++e) {
-      x[e] /= total;
-      lengths[e] = x[e] / g.edge(static_cast<int>(e)).capacity;
-    }
-
-    best_response(lengths, chosen_edges, chosen_len);
-
-    // Dual certificate: opt >= sum_j d_j * dist(s_j,t_j) / sum_e x_e, and
-    // sum_e x_e == 1 after normalization.
-    double dual = 0.0;
-    for (std::size_t j = 0; j < k; ++j) {
-      dual += commodities[j].amount * chosen_len[j];
-    }
-    best_lower = std::max(best_lower, dual);
-
-    // Aggregate this round's pure-profile loads.
-    std::fill(round_load.begin(), round_load.end(), 0.0);
-    for (std::size_t j = 0; j < k; ++j) {
-      for (int e : chosen_edges[j]) {
-        round_load[static_cast<std::size_t>(e)] += commodities[j].amount;
-      }
-    }
-    double width = 0.0;
-    for (std::size_t e = 0; e < m; ++e) {
-      cumulative_load[e] += round_load[e];
-      width = std::max(width,
-                       round_load[e] / g.edge(static_cast<int>(e)).capacity);
-    }
-    width_norm = std::max(width_norm, width);
-    if (width_norm > 0.0) {
-      for (std::size_t e = 0; e < m; ++e) {
-        log_x[e] += eta * (round_load[e] /
-                           g.edge(static_cast<int>(e)).capacity) /
-                    width_norm;
-      }
-    }
-    if (round + 1 >= options.min_rounds && best_lower > 0.0) {
-      double ub = 0.0;
-      for (std::size_t e = 0; e < m; ++e) {
-        ub = std::max(ub, cumulative_load[e] /
-                              (static_cast<double>(round + 1) *
-                               g.edge(static_cast<int>(e)).capacity));
-      }
-      if (ub <= best_lower * options.target_gap) {
-        ++round;
-        break;
-      }
-    }
-  }
-
-  const double rounds_used = static_cast<double>(std::max(round, 1));
-  double congestion = 0.0;
-  for (std::size_t e = 0; e < m; ++e) {
-    result.edge_load[e] = cumulative_load[e] / rounds_used;
-    congestion = std::max(
-        congestion, result.edge_load[e] / g.edge(static_cast<int>(e)).capacity);
-  }
-  result.congestion = congestion;
-  result.lower_bound = best_lower;
-  result.rounds_used = round;
-  return result;
-}
-
-}  // namespace
 
 double congestion_of_weights(const Graph& g,
                              const std::vector<Commodity>& commodities,
@@ -187,6 +72,16 @@ double congestion_of_weights(const Graph& g,
 //    0.0, which leaves IEEE doubles bit-unchanged;
 //  * the early-exit check short-circuits on the first violating edge (the
 //    reference computes a max and compares once; the boolean is the same).
+//
+// With options.fast_math (opt-in, default off) the two remaining
+// O(m)-per-round terms — the serial total-sum and the expv fill on max_log
+// change — are replaced by a segmented accumulator: edges never touched by
+// any chosen path all share the one value exp(0.0 - max_log), so their mass
+// is folded as a single (count * value) product, and the active mass is
+// summed in four interleaved lanes. Every per-edge value is computed with
+// the exact arithmetic; only the total's summation association changes (the
+// documented epsilon contract in MinCongestionOptions), and the round cost
+// becomes proportional to the candidate footprint instead of to m.
 CongestionResult min_congestion_over_paths(
     const Graph& g, const std::vector<Commodity>& commodities,
     const FlatCandidates& candidates, const MinCongestionOptions& options) {
@@ -279,36 +174,85 @@ CongestionResult min_congestion_over_paths(
                 static_cast<double>(std::max(options.rounds, 1)));
 
   const int* arena = scan_arena.data();
+  double untouched_value = 1.0;  // exp(0.0 - max_log), fast-math only
   double width_norm = 0.0;
   double best_lower = 0.0;
   int round = 0;
   for (round = 0; round < options.rounds; ++round) {
     // Normalize x from log-space. Cached exps are exact reuses; edges with
     // log_x still at +0.0 all take the one value exp(0.0 - max_log); the
-    // total is re-summed over every edge in index order, as the reference
-    // does, so it is the same sum of the same values.
-    if (max_log == cached_max_log) {
-      for (int e : dirty) {
-        expv[static_cast<std::size_t>(e)] =
-            std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
-        is_dirty[static_cast<std::size_t>(e)] = 0;
+    // exact path re-sums the total over every edge in index order, as the
+    // reference does, so it is the same sum of the same values.
+    double total = 0.0;
+    if (options.fast_math) {
+      // Per-edge values stay exact, but the untouched mass is never
+      // materialized: expv holds active edges only, everything else is
+      // untouched_value by construction. Round cost: O(dirty + active +
+      // cand), nothing O(m).
+      if (max_log == cached_max_log) {
+        for (int e : dirty) {
+          expv[static_cast<std::size_t>(e)] =
+              std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
+          is_dirty[static_cast<std::size_t>(e)] = 0;
+        }
+      } else {
+        untouched_value = std::exp(0.0 - max_log);
+        for (int e : active) {
+          expv[static_cast<std::size_t>(e)] =
+              std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
+        }
+        for (int e : dirty) is_dirty[static_cast<std::size_t>(e)] = 0;
+        cached_max_log = max_log;
+      }
+      dirty.clear();
+      // Segmented accumulator total: the (m - |active|) untouched edges
+      // fold into one product, the active mass sums in four interleaved
+      // lanes. This reassociation is the entirety of the fast-math
+      // epsilon contract (see MinCongestionOptions::fast_math).
+      double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+      std::size_t a = 0;
+      for (; a + 4 <= active.size(); a += 4) {
+        l0 += expv[static_cast<std::size_t>(active[a])];
+        l1 += expv[static_cast<std::size_t>(active[a + 1])];
+        l2 += expv[static_cast<std::size_t>(active[a + 2])];
+        l3 += expv[static_cast<std::size_t>(active[a + 3])];
+      }
+      for (; a < active.size(); ++a) {
+        l0 += expv[static_cast<std::size_t>(active[a])];
+      }
+      total = static_cast<double>(m - active.size()) * untouched_value +
+              ((l0 + l1) + (l2 + l3));
+      for (int e : cand_edges) {
+        const double value = is_active[static_cast<std::size_t>(e)]
+                                 ? expv[static_cast<std::size_t>(e)]
+                                 : untouched_value;
+        const double xe = value / total;
+        lengths[static_cast<std::size_t>(e)] =
+            xe / cap[static_cast<std::size_t>(e)];
       }
     } else {
-      std::fill(expv.begin(), expv.end(), std::exp(0.0 - max_log));
-      for (int e : active) {
-        expv[static_cast<std::size_t>(e)] =
-            std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
+      if (max_log == cached_max_log) {
+        for (int e : dirty) {
+          expv[static_cast<std::size_t>(e)] =
+              std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
+          is_dirty[static_cast<std::size_t>(e)] = 0;
+        }
+      } else {
+        std::fill(expv.begin(), expv.end(), std::exp(0.0 - max_log));
+        for (int e : active) {
+          expv[static_cast<std::size_t>(e)] =
+              std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
+        }
+        for (int e : dirty) is_dirty[static_cast<std::size_t>(e)] = 0;
+        cached_max_log = max_log;
       }
-      for (int e : dirty) is_dirty[static_cast<std::size_t>(e)] = 0;
-      cached_max_log = max_log;
-    }
-    dirty.clear();
-    double total = 0.0;
-    for (std::size_t e = 0; e < m; ++e) total += expv[e];
-    for (int e : cand_edges) {
-      const double xe = expv[static_cast<std::size_t>(e)] / total;
-      lengths[static_cast<std::size_t>(e)] =
-          xe / cap[static_cast<std::size_t>(e)];
+      dirty.clear();
+      for (std::size_t e = 0; e < m; ++e) total += expv[e];
+      for (int e : cand_edges) {
+        const double xe = expv[static_cast<std::size_t>(e)] / total;
+        lengths[static_cast<std::size_t>(e)] =
+            xe / cap[static_cast<std::size_t>(e)];
+      }
     }
 
     // Best response: per commodity, argmin path length over the dedup'd
@@ -495,34 +439,187 @@ CongestionResult min_congestion_over_paths(
       g, commodities, flatten_candidates(g, candidate_paths), options);
 }
 
+// The free-path MWU (the offline optimum / maximum-concurrent-flow solve),
+// on the flat substrate. This is the LP oracle behind every competitive
+// ratio and lower-bound experiment, so — like the restricted solver above —
+// it carries every optimization that is provably BIT-IDENTICAL to the
+// reference loop (the shared run_mwu template + naive Dijkstra best
+// response, kept verbatim in bench_m5_free_path as the "before"):
+//
+//  * commodities are grouped by source ONCE: the grouping is a pure
+//    function of the commodity list, which never changes across rounds,
+//    and the reference rebuilt the exact same grouping every round (source
+//    order ascending, commodity order within a source preserved);
+//  * Dijkstra best responses run through dijkstra_into with reused
+//    dist/parent/heap scratch — same algorithm, same heap discipline, zero
+//    per-round allocation (the reference allocated dist, parent_edge, the
+//    heap, and the by_source table every round);
+//  * the adversary max_log is maintained incrementally and
+//    exp(log_x[e] - max_log) is cached exactly as in the restricted solver
+//    (untouched edges share the one value exp(0.0 - max_log));
+//  * UNLIKE the restricted case, Dijkstra may read ANY edge's length, so
+//    all m lengths are refreshed each round — two divisions per edge; the
+//    m exp() calls are what the cache removes;
+//  * round loads aggregate sparsely over the touched-edge set, and the
+//    early-exit check short-circuits (both identical-by-IEEE arguments as
+//    in the restricted solver).
+//
+// options.fast_math swaps the serial total-sum for a four-lane interleaved
+// accumulator sum (each lane a left-to-right chain; lanes combined
+// pairwise). Same epsilon contract as the restricted solver: per-edge
+// values exact, only the total's association changes.
 CongestionResult min_congestion_free(const Graph& g,
                                      const std::vector<Commodity>& commodities,
                                      const MinCongestionOptions& options) {
-  // Owns the per-commodity edge lists behind the spans handed to run_mwu
-  // (rebuilt every round; spans are re-pointed after each fill).
-  std::vector<std::vector<int>> owned(commodities.size());
-  auto best_response = [&](const std::vector<double>& lengths,
-                           std::vector<std::span<const int>>& chosen_edges,
-                           std::vector<double>& chosen_len) {
-    // Group commodities by source to share Dijkstra runs.
-    for (std::size_t j = 0; j < commodities.size(); ++j) {
-      owned[j].clear();
-      chosen_edges[j] = {};
-      chosen_len[j] = 0.0;
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  const std::size_t k = commodities.size();
+  CongestionResult result;
+  result.edge_load.assign(m, 0.0);
+  if (k == 0 || m == 0) {
+    result.congestion = 0.0;
+    result.lower_bound = 0.0;
+    return result;
+  }
+
+  std::vector<double> cap(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    cap[e] = g.edge(static_cast<int>(e)).capacity;
+  }
+
+  // Group commodities by source once (hoisted out of the round loop; the
+  // reference rebuilt this identical grouping per round).
+  std::vector<std::vector<std::size_t>> by_source(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (commodities[j].amount > 0.0) {
+      by_source[static_cast<std::size_t>(commodities[j].s)].push_back(j);
     }
-    std::vector<std::vector<std::size_t>> by_source(
-        static_cast<std::size_t>(g.num_vertices()));
-    for (std::size_t j = 0; j < commodities.size(); ++j) {
-      if (commodities[j].amount > 0.0) {
-        by_source[static_cast<std::size_t>(commodities[j].s)].push_back(j);
+  }
+  std::vector<int> sources;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!by_source[s].empty()) sources.push_back(static_cast<int>(s));
+  }
+
+  // Per-source distinct-target counts for the early-exit Dijkstra (the
+  // is_target mask itself is set/cleared per (round, source)).
+  std::vector<char> is_target(n, 0);
+  std::vector<int> distinct_targets(sources.size(), 0);
+  for (std::size_t si = 0; si < sources.size(); ++si) {
+    int count = 0;
+    for (std::size_t j : by_source[static_cast<std::size_t>(sources[si])]) {
+      const std::size_t t = static_cast<std::size_t>(commodities[j].t);
+      if (!is_target[t]) {
+        is_target[t] = 1;
+        ++count;
       }
     }
-    for (int s = 0; s < g.num_vertices(); ++s) {
-      const auto& js = by_source[static_cast<std::size_t>(s)];
-      if (js.empty()) continue;
-      std::vector<int> parent_edge;
-      const auto dist = dijkstra(g, s, lengths, &parent_edge);
-      for (std::size_t j : js) {
+    for (std::size_t j : by_source[static_cast<std::size_t>(sources[si])]) {
+      is_target[static_cast<std::size_t>(commodities[j].t)] = 0;
+    }
+    distinct_targets[si] = count;
+  }
+
+  // ---- MWU state ---------------------------------------------------------
+  std::vector<double> log_x(m, 0.0);
+  std::vector<double> expv(m, 0.0);  // cached exp(log_x[e] - max_log)
+  std::vector<double> lengths(m, 0.0);
+  std::vector<double> cumulative_load(m, 0.0);
+  std::vector<double> round_load(m, 0.0);
+  std::vector<std::vector<int>> owned(k);  // chosen edge ids per commodity
+  std::vector<double> chosen_len(k, 0.0);
+  std::vector<int> touched;       // edges with round_load != 0 this round
+  std::vector<int> active;        // edges with log_x != 0 (ever touched)
+  std::vector<int> dirty;         // active edges whose cached exp is stale
+  std::vector<char> is_active(m, 0);
+  std::vector<char> is_dirty(m, 0);
+  touched.reserve(m);
+  double max_log = 0.0;           // max over all-zero log_x
+  double cached_max_log = std::numeric_limits<double>::quiet_NaN();
+
+  // Dijkstra scratch, reused across every (source, round), and the flat
+  // CSR adjacency snapshot the relaxation scans run on (built once; arc
+  // order identical to Graph::incident, outputs bit-identical).
+  std::vector<double> dist(n, 0.0);
+  std::vector<int> parent_edge(n, -1);
+  DijkstraScratch heap_scratch;
+  const FlatAdjacency adj(g);
+
+  const double eta =
+      std::sqrt(std::log(static_cast<double>(m) + 2.0) /
+                static_cast<double>(std::max(options.rounds, 1)));
+
+  double width_norm = 0.0;
+  double best_lower = 0.0;
+  int round = 0;
+  for (round = 0; round < options.rounds; ++round) {
+    // Normalize x from log-space (exp cache identical to the restricted
+    // solver's); the best response reads every edge, so all m lengths are
+    // refreshed.
+    if (max_log == cached_max_log) {
+      for (int e : dirty) {
+        expv[static_cast<std::size_t>(e)] =
+            std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
+        is_dirty[static_cast<std::size_t>(e)] = 0;
+      }
+    } else {
+      std::fill(expv.begin(), expv.end(), std::exp(0.0 - max_log));
+      for (int e : active) {
+        expv[static_cast<std::size_t>(e)] =
+            std::exp(log_x[static_cast<std::size_t>(e)] - max_log);
+      }
+      for (int e : dirty) is_dirty[static_cast<std::size_t>(e)] = 0;
+      cached_max_log = max_log;
+    }
+    dirty.clear();
+    double total = 0.0;
+    if (options.fast_math) {
+      // Four-lane accumulator sum (the documented reassociation).
+      double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+      std::size_t e = 0;
+      for (; e + 4 <= m; e += 4) {
+        l0 += expv[e];
+        l1 += expv[e + 1];
+        l2 += expv[e + 2];
+        l3 += expv[e + 3];
+      }
+      for (; e < m; ++e) l0 += expv[e];
+      total = (l0 + l1) + (l2 + l3);
+    } else {
+      for (std::size_t e = 0; e < m; ++e) total += expv[e];
+    }
+    bool lengths_positive = true;
+    for (std::size_t e = 0; e < m; ++e) {
+      const double xe = expv[e] / total;
+      lengths[e] = xe / cap[e];
+      lengths_positive = lengths_positive && lengths[e] > 0.0;
+    }
+
+    // Best response: one Dijkstra per distinct source, walked back to edge
+    // ids per commodity (reference order: sources ascending, commodities
+    // in input order within a source). The Dijkstra stops once this
+    // source's targets are all settled — bit-identical for everything the
+    // walk-back reads as long as lengths are strictly positive (see
+    // dijkstra_into_targets); the full sweep is the fallback for the
+    // pathological underflow-to-zero case.
+    for (std::size_t j = 0; j < k; ++j) {
+      owned[j].clear();
+      chosen_len[j] = 0.0;
+    }
+    for (std::size_t si = 0; si < sources.size(); ++si) {
+      const int s = sources[si];
+      if (lengths_positive) {
+        for (std::size_t j : by_source[static_cast<std::size_t>(s)]) {
+          is_target[static_cast<std::size_t>(commodities[j].t)] = 1;
+        }
+        dijkstra_into_targets(adj, s, lengths, dist, parent_edge, heap_scratch,
+                              is_target, distinct_targets[si]);
+        for (std::size_t j : by_source[static_cast<std::size_t>(s)]) {
+          is_target[static_cast<std::size_t>(commodities[j].t)] = 0;
+        }
+      } else {
+        dijkstra_into(g, s, lengths, dist, parent_edge, heap_scratch);
+      }
+      for (std::size_t j : by_source[static_cast<std::size_t>(s)]) {
         const int t = commodities[j].t;
         assert(dist[static_cast<std::size_t>(t)] !=
                std::numeric_limits<double>::infinity());
@@ -533,12 +630,81 @@ CongestionResult min_congestion_free(const Graph& g,
           owned[j].push_back(e);
           v = g.edge(e).other(v);
         }
-        chosen_edges[j] = owned[j];
       }
     }
-  };
 
-  return run_mwu(g, commodities, options, best_response);
+    // Dual certificate: opt >= sum_j d_j * dist(s_j,t_j) / sum_e x_e, and
+    // sum_e x_e == 1 after normalization.
+    double dual = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      dual += commodities[j].amount * chosen_len[j];
+    }
+    best_lower = std::max(best_lower, dual);
+
+    // Aggregate this round's pure-profile loads, sparsely (the reference's
+    // full-m passes are `+= 0.0` / max-vs-0.0 no-ops off the chosen paths).
+    for (std::size_t j = 0; j < k; ++j) {
+      for (int e : owned[j]) {
+        if (round_load[static_cast<std::size_t>(e)] == 0.0) touched.push_back(e);
+        round_load[static_cast<std::size_t>(e)] += commodities[j].amount;
+      }
+    }
+    double width = 0.0;
+    for (int e : touched) {
+      cumulative_load[static_cast<std::size_t>(e)] +=
+          round_load[static_cast<std::size_t>(e)];
+      width = std::max(width, round_load[static_cast<std::size_t>(e)] /
+                                  cap[static_cast<std::size_t>(e)]);
+    }
+    width_norm = std::max(width_norm, width);
+    if (width_norm > 0.0) {
+      for (int e : touched) {
+        log_x[static_cast<std::size_t>(e)] +=
+            eta * (round_load[static_cast<std::size_t>(e)] /
+                   cap[static_cast<std::size_t>(e)]) /
+            width_norm;
+        max_log = std::max(max_log, log_x[static_cast<std::size_t>(e)]);
+        if (!is_dirty[static_cast<std::size_t>(e)]) {
+          is_dirty[static_cast<std::size_t>(e)] = 1;
+          dirty.push_back(e);
+        }
+        if (!is_active[static_cast<std::size_t>(e)]) {
+          is_active[static_cast<std::size_t>(e)] = 1;
+          active.push_back(e);
+        }
+      }
+    }
+    for (int e : touched) round_load[static_cast<std::size_t>(e)] = 0.0;
+    touched.clear();
+
+    if (round + 1 >= options.min_rounds && best_lower > 0.0) {
+      const double bar = best_lower * options.target_gap;
+      bool exit_now = true;
+      for (std::size_t e = 0; e < m; ++e) {
+        if (cumulative_load[e] /
+                (static_cast<double>(round + 1) * cap[e]) >
+            bar) {
+          exit_now = false;
+          break;
+        }
+      }
+      if (exit_now) {
+        ++round;
+        break;
+      }
+    }
+  }
+
+  const double rounds_used = static_cast<double>(std::max(round, 1));
+  double congestion = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    result.edge_load[e] = cumulative_load[e] / rounds_used;
+    congestion = std::max(congestion, result.edge_load[e] / cap[e]);
+  }
+  result.congestion = congestion;
+  result.lower_bound = best_lower;
+  result.rounds_used = round;
+  return result;
 }
 
 CongestionResult min_congestion_over_paths_exact(

@@ -37,6 +37,34 @@ struct MinCongestionOptions {
   int rounds = 800;          ///< MWU iterations
   double target_gap = 1.02;  ///< stop early once upper/lower <= target_gap
   int min_rounds = 50;
+  /// Opt-in fast-math mode (default OFF). Replaces the reference loop's
+  /// O(m)-per-round serial total-sum of the adversary weights with a
+  /// segmented accumulator sum — in the restricted solver the untouched-edge
+  /// mass is additionally folded as one (count * value) product, making the
+  /// round cost proportional to the demand footprint instead of to m.
+  ///
+  /// Numerical contract (relaxes bit-identity, nothing else):
+  ///  * every per-edge quantity (exp weights, loads, the final congestion
+  ///    evaluation) is computed with the exact mode's arithmetic; ONLY the
+  ///    normalizing total sum_e x_e is accumulated in a different
+  ///    association, perturbing it by at most m * 2^-52 relative;
+  ///  * the perturbed lengths can flip the router's choice between paths
+  ///    whose lengths agree to within that perturbation — equally good
+  ///    best responses — so on tie-degenerate instances (unit-capacity
+  ///    tori/hypercubes) per-round path counts, and with them the averaged
+  ///    routing, may differ by a few round-granularity quanta;
+  ///  * BOTH runs remain exact certificates of the same LP: the returned
+  ///    congestion is the true congestion of the routing actually
+  ///    averaged, and the dual bound is a valid lower bound on opt up to a
+  ///    1 + m * 2^-52 factor. Hence lower_fast <= congestion_exact and
+  ///    lower_exact <= congestion_fast (cross-validity), and both
+  ///    congestions sit within the solver's convergence band of opt:
+  ///      |congestion_fast - congestion_exact|
+  ///          <= 0.05 * max(1, congestion_exact)
+  ///    on every supported instance (tests and bench_m5 enforce this band
+  ///    plus cross-validity; observed differences are ~1e-3, i.e. one or
+  ///    two flipped rounds out of hundreds).
+  bool fast_math = false;
 };
 
 struct CongestionResult {
@@ -72,7 +100,10 @@ CongestionResult min_congestion_over_paths(
 
 /// Fractional min-congestion over ALL paths (the offline optimum, i.e. the
 /// maximum-concurrent-flow LP). Only congestion/lower_bound/edge_load are
-/// populated.
+/// populated. Runs on the flat substrate: scratch-reusing Dijkstra best
+/// responses, incremental max_log/exp caching, and sparse touched-set load
+/// aggregation, all bit-identical to the reference MWU loop (pinned by
+/// tests/test_free_path_flat.cpp and bench_m5_free_path's legacy replica).
 CongestionResult min_congestion_free(
     const Graph& g, const std::vector<Commodity>& commodities,
     const MinCongestionOptions& options = {});

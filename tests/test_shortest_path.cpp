@@ -69,6 +69,60 @@ TEST(ShortestPath, ShortestPathHopsIsValidAndTight) {
   EXPECT_EQ(hop_count(p), 6);  // Manhattan distance in the grid
 }
 
+TEST(ShortestPath, DijkstraIntoTargetsMatchesFullRun) {
+  // The early-exit CSR variant must agree bit-for-bit with the full
+  // dijkstra_into on everything its contract covers: the target's dist
+  // and the whole parent chain back to the source (strictly positive
+  // lengths make the settled prefix final).
+  Rng rng(29);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = gen::erdos_renyi_connected(30, 0.15, rng);
+    const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+    std::vector<double> length(static_cast<std::size_t>(g.num_edges()));
+    for (double& l : length) l = 0.05 + rng.uniform_double();
+    const FlatAdjacency adj(g);
+    ASSERT_EQ(adj.num_vertices(), g.num_vertices());
+    std::vector<double> full_dist(n), dist(n);
+    std::vector<int> full_parent(n), parent(n);
+    DijkstraScratch scratch;
+    for (int probe = 0; probe < 5; ++probe) {
+      const int s = rng.uniform_int(0, g.num_vertices() - 1);
+      int t = rng.uniform_int(0, g.num_vertices() - 1);
+      if (s == t) t = (t + 1) % g.num_vertices();
+      dijkstra_into(g, s, length, full_dist, full_parent);
+      std::vector<char> is_target(n, 0);
+      is_target[static_cast<std::size_t>(t)] = 1;
+      dijkstra_into_targets(adj, s, length, dist, parent, scratch, is_target,
+                            1);
+      EXPECT_EQ(dist[static_cast<std::size_t>(t)],
+                full_dist[static_cast<std::size_t>(t)]);
+      int v = t;
+      while (v != s) {
+        ASSERT_EQ(parent[static_cast<std::size_t>(v)],
+                  full_parent[static_cast<std::size_t>(v)]);
+        EXPECT_EQ(dist[static_cast<std::size_t>(v)],
+                  full_dist[static_cast<std::size_t>(v)]);
+        v = g.edge(parent[static_cast<std::size_t>(v)]).other(v);
+      }
+    }
+  }
+}
+
+TEST(ShortestPath, FlatAdjacencyMirrorsIncidenceLists) {
+  Rng rng(31);
+  const Graph g = gen::erdos_renyi_connected(20, 0.2, rng);
+  const FlatAdjacency adj(g);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto arcs = adj.arcs(v);
+    ASSERT_EQ(static_cast<int>(arcs.size()), g.degree(v));
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      const int e = g.incident(v)[i];
+      EXPECT_EQ(arcs[i].edge, e);
+      EXPECT_EQ(arcs[i].to, g.edge(e).other(v));
+    }
+  }
+}
+
 TEST(ShortestPathSampler, SamplesAreShortestPaths) {
   const Graph g = gen::hypercube(4);
   ShortestPathSampler sampler(g);
