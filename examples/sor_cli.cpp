@@ -19,6 +19,7 @@
 // demands and routes them concurrently over the one frozen PathSystem.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -27,22 +28,37 @@
 
 #include "api/sor_engine.h"
 #include "graph/generators.h"
+#include "io/scenario_io.h"
 #include "io/serialization.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
 
 namespace {
 
 struct Options {
   std::string topology = "hypercube";
+  bool topology_set = false;
   int size = 6;
+  bool size_set = false;
   int alpha = 4;
+  bool alpha_set = false;
   std::string demand = "permutation";
+  bool demand_set = false;
   std::string backend;  // empty = per-topology default
   std::uint64_t seed = 1;
+  bool seed_set = false;  // --seed given: overrides a scenario file's seed
   int threads = 1;
   int batch = 1;
   bool integral = false;
   bool fast_math = false;
   std::string dot_path;
+  // Scenario mode (either one set => run the scenario engine instead).
+  std::string scenario_path;
+  std::string scenario_preset;
+  std::string reinstall_override;  // "never" / "every_k:3" / ...
+  int epochs_override = 0;         // > 0 overrides the spec
+  std::string scenario_out;        // dump the effective spec (editable)
+  std::string trace_out;           // dump the materialized trace
 };
 
 void usage() {
@@ -54,6 +70,11 @@ void usage() {
       "               [--backend SPEC] [--seed S] [--threads N] [--batch B]\n"
       "               [--integral] [--fast-math] [--dot FILE] "
       "[--list-backends]\n"
+      "       sor_cli --scenario FILE | --scenario-preset NAME\n"
+      "               [--reinstall POLICY] [--epochs E] [--seed S] "
+      "[--threads N]\n"
+      "               [--backend SPEC] [--alpha A] [--scenario-out FILE] "
+      "[--trace-out FILE]\n"
       "\n"
       "SPEC is a registry name with optional numeric params, e.g.\n"
       "  racke:num_trees=10,eta=6   (see --list-backends)\n"
@@ -62,7 +83,15 @@ void usage() {
       "revealed demands concurrently over the one frozen PathSystem.\n"
       "--fast-math opts the MWU solvers into the relaxed-bit-identity\n"
       "accumulator-sum mode (outputs within 5%% of exact, certificates\n"
-      "stay valid; see MinCongestionOptions::fast_math). Off by default.\n");
+      "stay valid; see MinCongestionOptions::fast_math). Off by default.\n"
+      "\n"
+      "Scenario mode drives the engine across a trace of epochal demands\n"
+      "with link events under a reinstall policy (never / every_k:K /\n"
+      "on_link_event / on_support_drift:THETA). Presets: diurnal,\n"
+      "failover, flashcrowd, storm. --scenario-out dumps the effective\n"
+      "spec for hand-editing (reload it with --scenario); --trace-out\n"
+      "dumps the materialized trace (reload programmatically via\n"
+      "src/io/scenario_io.h read_trace).\n");
 }
 
 void list_backends() {
@@ -88,18 +117,22 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
       const char* v = next("--topology");
       if (!v) return false;
       opt.topology = v;
+      opt.topology_set = true;
     } else if (!std::strcmp(argv[i], "--size")) {
       const char* v = next("--size");
       if (!v) return false;
       opt.size = std::atoi(v);
+      opt.size_set = true;
     } else if (!std::strcmp(argv[i], "--alpha")) {
       const char* v = next("--alpha");
       if (!v) return false;
       opt.alpha = std::atoi(v);
+      opt.alpha_set = true;
     } else if (!std::strcmp(argv[i], "--demand")) {
       const char* v = next("--demand");
       if (!v) return false;
       opt.demand = v;
+      opt.demand_set = true;
     } else if (!std::strcmp(argv[i], "--backend")) {
       const char* v = next("--backend");
       if (!v) return false;
@@ -108,6 +141,36 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
       const char* v = next("--seed");
       if (!v) return false;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+      opt.seed_set = true;
+    } else if (!std::strcmp(argv[i], "--scenario")) {
+      const char* v = next("--scenario");
+      if (!v) return false;
+      opt.scenario_path = v;
+    } else if (!std::strcmp(argv[i], "--scenario-preset")) {
+      const char* v = next("--scenario-preset");
+      if (!v) return false;
+      opt.scenario_preset = v;
+    } else if (!std::strcmp(argv[i], "--reinstall")) {
+      const char* v = next("--reinstall");
+      if (!v) return false;
+      opt.reinstall_override = v;
+    } else if (!std::strcmp(argv[i], "--epochs")) {
+      const char* v = next("--epochs");
+      if (!v) return false;
+      char* end = nullptr;
+      opt.epochs_override = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || opt.epochs_override < 1) {
+        std::fprintf(stderr, "--epochs needs a positive integer, got %s\n", v);
+        return false;
+      }
+    } else if (!std::strcmp(argv[i], "--scenario-out")) {
+      const char* v = next("--scenario-out");
+      if (!v) return false;
+      opt.scenario_out = v;
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      const char* v = next("--trace-out");
+      if (!v) return false;
+      opt.trace_out = v;
     } else if (!std::strcmp(argv[i], "--threads")) {
       const char* v = next("--threads");
       if (!v) return false;
@@ -155,22 +218,28 @@ struct Topology {
   std::string default_backend;
 };
 
+// Graph construction is deliberately NOT delegated to
+// scenario::make_scenario_graph: one-shot mode draws the expander from the
+// CLI's running rng stream and supports the alpha-coupled gadget, while
+// scenario mode derives everything from the spec seed for trace purity.
+// The per-topology backend defaults ARE shared (scenario::default_backend)
+// so the two modes cannot drift apart on that table.
 Topology make_topology(const Options& opt, sor::Rng& rng) {
+  const std::string backend = sor::scenario::default_backend(opt.topology);
   if (opt.topology == "hypercube") {
-    return {sor::gen::hypercube(opt.size), "valiant"};
+    return {sor::gen::hypercube(opt.size), backend};
   }
   if (opt.topology == "torus") {
-    return {sor::gen::grid(opt.size, opt.size, /*wrap=*/true),
-            "racke:num_trees=10"};
+    return {sor::gen::grid(opt.size, opt.size, /*wrap=*/true), backend};
   }
   if (opt.topology == "expander") {
-    return {sor::gen::random_regular(opt.size, 4, rng), "racke:num_trees=10"};
+    return {sor::gen::random_regular(opt.size, 4, rng), backend};
   }
   if (opt.topology == "abilene") {
-    return {sor::gen::abilene(10.0), "racke:num_trees=12"};
+    return {sor::gen::abilene(10.0), backend};
   }
   if (opt.topology == "fattree") {
-    return {sor::gen::fat_tree(opt.size), "racke:num_trees=10"};
+    return {sor::gen::fat_tree(opt.size), backend};
   }
   if (opt.topology == "gadget") {
     const int k = sor::gen::lower_bound_k(opt.size, opt.alpha);
@@ -179,12 +248,151 @@ Topology make_topology(const Options& opt, sor::Rng& rng) {
   throw std::invalid_argument("unknown topology " + opt.topology);
 }
 
+/// Scenario mode: load/preset a spec, materialize the trace, drive the
+/// engine across it, print the per-epoch service log.
+int run_scenario_mode(const Options& opt) {
+  namespace scn = sor::scenario;
+  // One-shot-only flags must not be silently dropped in scenario mode:
+  // the spec (or its explicit overrides below) owns those choices.
+  if (opt.topology_set || opt.size_set || opt.demand_set || opt.batch > 1 ||
+      opt.integral || opt.fast_math || !opt.dot_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --topology/--size/--demand/--batch/--integral/"
+                 "--fast-math/--dot do not apply to scenario mode (set them "
+                 "in the spec; --backend/--alpha/--seed/--epochs/--reinstall/"
+                 "--threads override it)\n");
+    return 1;
+  }
+  if (!opt.scenario_path.empty() && !opt.scenario_preset.empty()) {
+    std::fprintf(stderr,
+                 "error: --scenario and --scenario-preset are exclusive\n");
+    return 1;
+  }
+  scn::ScenarioSpec spec;
+  if (!opt.scenario_path.empty()) {
+    std::ifstream in(opt.scenario_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   opt.scenario_path.c_str());
+      return 1;
+    }
+    const auto loaded = sor::io::read_scenario(in);
+    if (!loaded) {
+      std::fprintf(stderr, "error: %s is not a valid scenario spec\n",
+                   opt.scenario_path.c_str());
+      return 1;
+    }
+    spec = *loaded;
+  } else {
+    const auto preset = scn::scenario_preset(opt.scenario_preset);
+    if (!preset) {
+      std::fprintf(stderr, "error: unknown preset %s; available:",
+                   opt.scenario_preset.c_str());
+      for (const auto& name : scn::scenario_preset_names()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    spec = *preset;
+  }
+  if (opt.seed_set) spec.seed = opt.seed;
+  if (opt.epochs_override > 0) spec.epochs = opt.epochs_override;
+  if (!opt.backend.empty()) spec.backend = opt.backend;
+  if (opt.alpha_set) spec.alpha = opt.alpha;
+  if (!opt.reinstall_override.empty()) {
+    const auto policy = scn::ReinstallPolicy::parse(opt.reinstall_override);
+    if (!policy) {
+      std::fprintf(stderr, "error: bad --reinstall %s\n",
+                   opt.reinstall_override.c_str());
+      return 1;
+    }
+    spec.reinstall = *policy;
+  }
+  if (!opt.scenario_out.empty()) {
+    std::ofstream out(opt.scenario_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.scenario_out.c_str());
+      return 1;
+    }
+    sor::io::write_scenario(out, spec);
+    std::printf("wrote scenario spec to %s\n", opt.scenario_out.c_str());
+  }
+
+  sor::SorEngine engine = scn::build_scenario_engine(spec, opt.threads);
+  std::printf(
+      "scenario %s: %s on %d vertices / %d edges, backend %s\n"
+      "  %d epochs of %s, reinstall %s\n",
+      spec.name.c_str(), spec.topology.c_str(),
+      engine.graph().num_vertices(), engine.graph().num_edges(),
+      engine.backend().name().c_str(), spec.epochs,
+      spec.model.to_string().c_str(), spec.reinstall.to_string().c_str());
+
+  const scn::ScenarioTrace trace = scn::generate_trace(engine.graph(), spec);
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.trace_out.c_str());
+      return 1;
+    }
+    sor::io::write_trace(out, trace);
+    std::printf("wrote trace (%zu epochs, %zu events) to %s\n",
+                trace.demands.size(), trace.events.size(),
+                opt.trace_out.c_str());
+  }
+
+  const scn::ScenarioReport report = scn::run_scenario(engine, spec, trace);
+
+  sor::Table table({"epoch", "events", "reinstall", "pairs", "coverage",
+                    "congestion", "ratio", "install_ms", "route_ms"});
+  for (const scn::EpochReport& row : report.epochs) {
+    table.row()
+        .cell(row.epoch)
+        .cell(row.link_events)
+        .cell(row.reinstalled ? (row.rebuilt ? "stage1+2" : "stage2") : "-")
+        .cell(row.support)
+        .cell(row.coverage, 3)
+        .cell(row.congestion, 4)
+        .cell(row.ratio, 2)
+        .cell(row.install_ms, 1)
+        .cell(row.route_ms, 1);
+  }
+  table.print();
+  std::printf(
+      "\n%d reinstalls after epoch 0; install %.0f ms total vs route %.0f ms"
+      " total\nmax congestion %.4f, max ratio <= %.2f, coverage mean %.3f / "
+      "min %.3f\n",
+      report.reinstalls, report.total_install_ms, report.total_route_ms,
+      report.max_congestion, report.max_ratio, report.mean_coverage,
+      report.min_coverage);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
   bool exit_ok = false;
   if (!parse(argc, argv, opt, exit_ok)) return exit_ok ? 0 : 1;
+  if (!opt.scenario_path.empty() || !opt.scenario_preset.empty()) {
+    try {
+      return run_scenario_mode(opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  // Mirror of run_scenario_mode's conflict check: scenario-only flags in
+  // one-shot mode mean the user forgot --scenario/--scenario-preset.
+  if (!opt.reinstall_override.empty() || opt.epochs_override > 0 ||
+      !opt.scenario_out.empty() || !opt.trace_out.empty()) {
+    std::fprintf(stderr,
+                 "error: --reinstall/--epochs/--scenario-out/--trace-out "
+                 "need scenario mode (--scenario FILE or --scenario-preset "
+                 "NAME)\n");
+    return 1;
+  }
   sor::Rng rng(opt.seed);
   try {
   sor::SorEngine engine = [&] {
@@ -285,6 +493,10 @@ int main(int argc, char** argv) {
 
   if (!opt.dot_path.empty()) {
     std::ofstream out(opt.dot_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.dot_path.c_str());
+      return 1;
+    }
     sor::io::write_dot(out, engine.graph(), &report.solution.edge_load);
     std::printf("wrote %s (loads as penwidth)\n", opt.dot_path.c_str());
   }

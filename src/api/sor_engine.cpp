@@ -70,17 +70,47 @@ SorEngine SorEngine::build(Graph graph, const BackendSpec& spec,
   // thread-count invariant, so this is purely a wall-clock decision.
   BackendSpec effective = spec;
   const auto& registry = BackendRegistry::instance();
-  if (threads != 1 && !effective.params.count("threads") &&
-      registry.has(effective.name)) {
+  if (!effective.params.count("threads") && registry.has(effective.name)) {
     const auto& keys = registry.keys(effective.name);
-    if (std::find(keys.begin(), keys.end(), "threads") != keys.end()) {
-      effective.params["threads"] = static_cast<double>(threads);
-    }
+    engine.owns_threads_knob_ =
+        std::find(keys.begin(), keys.end(), "threads") != keys.end();
   }
+  if (engine.owns_threads_knob_ && threads != 1) {
+    effective.params["threads"] = static_cast<double>(threads);
+  }
+  engine.spec_ = effective;
   const auto start = Clock::now();
   engine.backend_ = registry.make(*engine.graph_, effective, engine.rng_);
   engine.build_ms_ = ms_since(start);
   return engine;
+}
+
+void SorEngine::set_edge_capacity(int e, double capacity) {
+  if (e < 0 || e >= graph_->num_edges()) {
+    throw std::invalid_argument("SorEngine::set_edge_capacity: bad edge id");
+  }
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument(
+        "SorEngine::set_edge_capacity: capacity must be > 0 (model a failed "
+        "link as a small positive capacity, not 0)");
+  }
+  graph_->set_capacity(e, capacity);
+}
+
+void SorEngine::rebuild_backend() {
+  // The "threads" knob build() injected (never one the caller pinned)
+  // tracks the CURRENT pool width: a set_threads() between build and
+  // rebuild must not resurrect the old parallelism.
+  if (owns_threads_knob_) {
+    if (threads_ != 1) {
+      spec_.params["threads"] = static_cast<double>(threads_);
+    } else {
+      spec_.params.erase("threads");
+    }
+  }
+  const auto start = Clock::now();
+  backend_ = BackendRegistry::instance().make(*graph_, spec_, rng_);
+  build_ms_ = ms_since(start);
 }
 
 SorEngine SorEngine::build(Graph graph, const std::string& spec_text,

@@ -189,6 +189,32 @@ class SorEngine {
   void set_threads(int threads);
   int threads() const { return threads_; }
 
+  // ---- scenario-engine hooks (link events between epochs) --------------
+
+  /// Live capacity update on the owned graph (capacity must stay > 0):
+  /// the link-event hook of src/scenario/. Topology and edge ids are
+  /// unchanged, so the frozen PathSystem's interned edge ids stay valid
+  /// and subsequent route() calls adapt rates against the NEW capacities
+  /// over the OLD frozen paths. Neither the Stage 1 substrate nor the
+  /// installed paths are invalidated — whether to pay for a rebuild /
+  /// re-install after an event is exactly the caller's ReinstallPolicy
+  /// decision, never an engine-forced one.
+  void set_edge_capacity(int e, double capacity);
+
+  /// Re-runs Stage 1 — backend construction with the spec build() stored —
+  /// on the CURRENT graph (i.e. after any set_edge_capacity events),
+  /// drawing fresh randomness from the engine stream and refreshing
+  /// build_ms(). An engine-injected "threads" knob is re-derived from the
+  /// live set_threads() width (a caller-pinned one is untouched). The
+  /// installed PathSystem is kept: its paths remain valid frozen
+  /// candidates; callers wanting paths sampled from the rebuilt substrate
+  /// follow up with install_paths().
+  void rebuild_backend();
+
+  /// The (effective) spec Stage 1 was built with; rebuild_backend() reuses
+  /// it verbatim.
+  const BackendSpec& backend_spec() const { return spec_; }
+
   const Graph& graph() const { return *graph_; }
   const ObliviousRouting& backend() const { return *backend_; }
   bool has_paths() const { return paths_.has_value(); }
@@ -219,6 +245,11 @@ class SorEngine {
   // Instance).
   std::unique_ptr<Graph> graph_;
   std::unique_ptr<ObliviousRouting> backend_;
+  BackendSpec spec_;
+  /// build() (not the caller) manages spec_'s "threads" param: the backend
+  /// declares the knob and the caller's spec left it unpinned, so
+  /// rebuild_backend() refreshes it from the live pool width.
+  bool owns_threads_knob_ = false;
   std::optional<PathSystem> paths_;
   Rng rng_{1};
   int threads_ = 1;

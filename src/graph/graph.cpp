@@ -31,6 +31,27 @@ int Graph::add_edge(int u, int v, double capacity) {
   return id;
 }
 
+void Graph::set_capacity(int e, double capacity) {
+  assert(e >= 0 && e < num_edges());
+  assert(capacity > 0.0);
+  Edge& edge = edges_[static_cast<std::size_t>(e)];
+  edge.capacity = capacity;
+  // Re-resolve the pair's canonical edge: incident ids are in insertion
+  // order (increasing), so keeping the first strict maximum reproduces
+  // add_edge's max-capacity/smallest-id choice.
+  int best = -1;
+  double best_cap = 0.0;
+  for (int id : incident_[static_cast<std::size_t>(edge.u)]) {
+    const Edge& cand = edges_[static_cast<std::size_t>(id)];
+    if (cand.other(edge.u) != edge.v) continue;
+    if (best < 0 || cand.capacity > best_cap) {
+      best = id;
+      best_cap = cand.capacity;
+    }
+  }
+  canonical_edge_[pair_key(edge.u, edge.v)] = best;
+}
+
 int Graph::edge_between(int u, int v) const {
   auto it = canonical_edge_.find(pair_key(u, v));
   return it == canonical_edge_.end() ? -1 : it->second;

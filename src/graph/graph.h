@@ -45,6 +45,14 @@ class Graph {
   /// and capacity > 0.
   int add_edge(int u, int v, double capacity = 1.0);
 
+  /// Overwrites edge `e`'s capacity (must stay > 0) in place — the live
+  /// link-event hook of the scenario engine (failure = scale toward 0,
+  /// recovery = restore). Topology, edge ids, and incidence are untouched,
+  /// so paths stored as edge ids stay valid; the canonical edge of the
+  /// endpoint pair is re-resolved among parallel edges so edge_between's
+  /// max-capacity/smallest-id invariant survives the update.
+  void set_capacity(int e, double capacity);
+
   int num_vertices() const { return n_; }
   int num_edges() const { return static_cast<int>(edges_.size()); }
 

@@ -1,25 +1,43 @@
 #include "io/serialization.h"
 
 #include <algorithm>
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
 namespace sor::io {
-namespace {
 
-/// Reads the next non-comment, non-empty line. Returns false at EOF.
+namespace detail {
+
 bool next_content_line(std::istream& in, std::string& line) {
   while (std::getline(in, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    if (line[first] == '#') continue;
+    const auto hash = line.find('#');  // full-line AND inline comments
+    if (hash != std::string::npos) line.erase(hash);
+    const auto last = line.find_last_not_of(" \t\r");
+    if (last == std::string::npos) continue;  // blank or comment-only
+    line.erase(last + 1);
     return true;
   }
   return false;
 }
 
-}  // namespace
+bool fully_consumed(std::istream& in) {
+  in >> std::ws;
+  return in.eof();
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc() ? std::string(buffer, end) : std::string("0");
+}
+
+}  // namespace detail
+
+using detail::fully_consumed;
+using detail::next_content_line;
 
 void write_dot(std::ostream& out, const Graph& g,
                const std::vector<double>* edge_load) {
@@ -61,7 +79,10 @@ std::optional<Demand> read_demand(std::istream& in) {
     int s = 0;
     int t = 0;
     double value = 0.0;
-    if (!(ls >> s >> t >> value) || s == t || value < 0.0) return std::nullopt;
+    if (!(ls >> s >> t >> value) || !fully_consumed(ls) || s == t ||
+        value < 0.0) {
+      return std::nullopt;
+    }
     d.set(s, t, value);
   }
   return d;
@@ -89,6 +110,9 @@ std::optional<PathSystem> read_path_system(std::istream& in, const Graph& g) {
     Path p;
     int v = 0;
     while (ls >> v) p.push_back(v);
+    // The vertex loop must have stopped at end-of-line, not at a token
+    // that fails to parse as a vertex.
+    if (!ls.eof()) return std::nullopt;
     if (!is_valid_path(g, p, s, t)) return std::nullopt;
     ps.add_path(s, t, std::move(p));
   }
@@ -108,7 +132,9 @@ std::optional<Graph> read_graph(std::istream& in) {
   std::istringstream header(line);
   int n = 0;
   int m = 0;
-  if (!(header >> n >> m) || n < 0 || m < 0) return std::nullopt;
+  if (!(header >> n >> m) || !fully_consumed(header) || n < 0 || m < 0) {
+    return std::nullopt;
+  }
   Graph g(n);
   for (int i = 0; i < m; ++i) {
     if (!next_content_line(in, line)) return std::nullopt;
@@ -116,8 +142,8 @@ std::optional<Graph> read_graph(std::istream& in) {
     int u = 0;
     int v = 0;
     double cap = 0.0;
-    if (!(ls >> u >> v >> cap) || u < 0 || v < 0 || u >= n || v >= n ||
-        u == v || cap <= 0.0) {
+    if (!(ls >> u >> v >> cap) || !fully_consumed(ls) || u < 0 || v < 0 ||
+        u >= n || v >= n || u == v || cap <= 0.0) {
       return std::nullopt;
     }
     g.add_edge(u, v, cap);

@@ -36,4 +36,26 @@ std::optional<PathSystem> read_path_system(std::istream& in, const Graph& g);
 void write_graph(std::ostream& out, const Graph& g);
 std::optional<Graph> read_graph(std::istream& in);
 
+namespace detail {
+// Shared line discipline of every text reader in src/io/ (these files are
+// hand-edited; scenario specs especially): blank lines and '#' comments —
+// full-line or inline — are skipped/stripped, trailing whitespace is
+// trimmed, and extractors reject lines with trailing garbage instead of
+// silently ignoring it.
+
+/// Advances to the next line with content after comment/whitespace
+/// stripping, leaving that content (no trailing whitespace, no comment) in
+/// `line`. Returns false at EOF.
+bool next_content_line(std::istream& in, std::string& line);
+
+/// True iff `in` holds nothing but whitespace from its current position —
+/// i.e. the extraction that just ran consumed the whole line.
+bool fully_consumed(std::istream& in);
+
+/// Shortest decimal form that round-trips the double exactly (to_chars):
+/// what the scenario spec/trace writers emit so a written trace reloads
+/// bit-identically while staying human-readable ("0.5", not 17 digits).
+std::string format_double(double value);
+}  // namespace detail
+
 }  // namespace sor::io

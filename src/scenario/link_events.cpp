@@ -1,0 +1,85 @@
+#include "scenario/link_events.h"
+
+#include <algorithm>
+
+namespace sor::scenario {
+
+const char* LinkEvent::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kDown:
+      return "down";
+    case Kind::kUp:
+      return "up";
+    case Kind::kScale:
+      return "scale";
+  }
+  return "?";
+}
+
+std::optional<LinkEvent::Kind> LinkEvent::parse_kind(const std::string& text) {
+  if (text == "down") return Kind::kDown;
+  if (text == "up") return Kind::kUp;
+  if (text == "scale") return Kind::kScale;
+  return std::nullopt;
+}
+
+std::vector<LinkEvent> generate_link_events(const Graph& g,
+                                            const LinkChurnSpec& spec,
+                                            int num_epochs, Rng& rng) {
+  std::vector<LinkEvent> events;
+  if (spec.rate <= 0.0 || g.num_edges() == 0) return events;
+
+  // recovery_at[canon] > epoch means the LINK is currently down. The
+  // bookkeeping is keyed by the pair's canonical edge id — the id the
+  // runner resolves every (u, v) event to — so two draws landing on
+  // parallel siblings cannot start overlapping outages whose first
+  // recovery would re-heal a link the model still considers down.
+  std::vector<int> recovery_at(static_cast<std::size_t>(g.num_edges()), 0);
+  for (int epoch = 0; epoch < num_epochs; ++epoch) {
+    if (!rng.bernoulli(spec.rate)) continue;
+    const int drawn = static_cast<int>(
+        rng.uniform_u64(static_cast<std::uint64_t>(g.num_edges())));
+    const int e = g.edge_between(g.edge(drawn).u, g.edge(drawn).v);
+    if (recovery_at[static_cast<std::size_t>(e)] > epoch) continue;  // down
+    const int outage =
+        1 + static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(
+                std::max(2 * spec.mean_outage - 1, 1))));
+    const Edge& edge = g.edge(e);
+    events.push_back({epoch, LinkEvent::Kind::kDown, edge.u, edge.v, 1.0});
+    if (epoch + outage < num_epochs) {
+      recovery_at[static_cast<std::size_t>(e)] = epoch + outage;
+      events.push_back(
+          {epoch + outage, LinkEvent::Kind::kUp, edge.u, edge.v, 1.0});
+    } else {
+      recovery_at[static_cast<std::size_t>(e)] = num_epochs;  // never healed
+    }
+  }
+  sort_events(events);
+  return events;
+}
+
+void sort_events(std::vector<LinkEvent>& events) {
+  // Within an epoch recoveries apply BEFORE failures: when one outage's
+  // recovery lands in the same epoch as a new outage on the same edge
+  // (the churn generator can emit exactly that), down-then-up would let
+  // the recovery cancel the fresh failure and the link would run healthy
+  // while the model considers it down. Up, then down, then scale.
+  const auto rank = [](LinkEvent::Kind kind) {
+    switch (kind) {
+      case LinkEvent::Kind::kUp:
+        return 0;
+      case LinkEvent::Kind::kDown:
+        return 1;
+      case LinkEvent::Kind::kScale:
+        return 2;
+    }
+    return 3;
+  };
+  std::stable_sort(events.begin(), events.end(),
+                   [&](const LinkEvent& a, const LinkEvent& b) {
+                     if (a.epoch != b.epoch) return a.epoch < b.epoch;
+                     return rank(a.kind) < rank(b.kind);
+                   });
+}
+
+}  // namespace sor::scenario

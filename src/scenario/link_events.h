@@ -1,0 +1,73 @@
+// Link events: the topology-churn half of the scenario engine.
+//
+// Events are applied BETWEEN epochs (before the epoch's demand is routed)
+// and are deliberately capacity-only: a "failed" link keeps its edge id at
+// a small positive capacity (spec.down_factor of its original) rather than
+// vanishing, so the frozen PathSystem's interned edge ids stay valid and a
+// reinstall=never run keeps routing over degraded links — congestion
+// spikes until a ReinstallPolicy pays for a rebuild, which is exactly the
+// trade-off the scenario engine measures. Recovery restores the original
+// capacity; scaling multiplies it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace sor::scenario {
+
+/// One capacity event on the canonical edge between (u, v).
+struct LinkEvent {
+  enum class Kind { kDown, kUp, kScale };
+
+  int epoch = 0;  ///< applied before this epoch's demand is routed
+  Kind kind = Kind::kDown;
+  int u = 0;
+  int v = 0;
+  /// Multiplier for kScale (relative to the CURRENT capacity); always 1.0
+  /// for kDown/kUp, which use the scenario's down_factor / the recorded
+  /// original capacity instead.
+  double factor = 1.0;
+
+  friend bool operator==(const LinkEvent&, const LinkEvent&) = default;
+
+  static const char* kind_name(Kind kind);
+  /// Parses "down" / "up" / "scale"; nullopt otherwise.
+  static std::optional<Kind> parse_kind(const std::string& text);
+};
+
+/// Random outage process layered on top of any explicit events: each epoch
+/// starts an outage on a uniformly random healthy edge with probability
+/// `rate`; the edge recovers after a uniform 1..2*mean_outage-1 epochs
+/// (mean `mean_outage`). Down events scale the edge to `down_factor` of
+/// its original capacity.
+struct LinkChurnSpec {
+  double rate = 0.0;
+  double down_factor = 0.05;
+  int mean_outage = 2;
+
+  friend bool operator==(const LinkChurnSpec&, const LinkChurnSpec&) = default;
+};
+
+/// Materializes the churn process over `num_epochs` epochs, drawing only
+/// from `rng` (the trace's dedicated churn stream): a pure function of
+/// (graph, spec, num_epochs, seed). Events come back in sort_events
+/// order; an outage whose recovery falls past the last epoch simply never
+/// comes back up.
+std::vector<LinkEvent> generate_link_events(const Graph& g,
+                                            const LinkChurnSpec& spec,
+                                            int num_epochs, Rng& rng);
+
+/// THE event order every producer emits and the runner's forward cursor
+/// consumes: epoch ascending; within an epoch up (recoveries) before down
+/// (new failures) before scale — so a recovery landing in the epoch a new
+/// outage starts on the same edge cannot cancel the fresh failure —
+/// stable otherwise. The runner silently skips out-of-order events, so
+/// anything that builds an event list (churn generation, trace assembly,
+/// trace deserialization) must finish with this one sort.
+void sort_events(std::vector<LinkEvent>& events);
+
+}  // namespace sor::scenario

@@ -1,0 +1,176 @@
+// The scenario engine: trace-driven workloads that turn SorEngine from a
+// one-shot solver into a long-lived routing service.
+//
+// A ScenarioSpec describes a whole experiment: topology + backend, a
+// TrafficModel producing an epoch sequence of demands with churn, a link
+// event stream (explicit and/or random churn), and a ReinstallPolicy. A
+// fixed seed determines everything: generate_trace() seed-splits one
+// stream per epoch (plus a churn stream) so traces are bit-identical for a
+// fixed seed, and ScenarioRunner's reports are bit-identical across engine
+// thread counts (all engine parallelism is seed-split fan-out).
+//
+// The amortization/adaptivity trade-off at the heart of the paper is the
+// runner's subject. Stage 2 (install_paths) runs ONCE up front over the
+// install window's support; afterwards each epoch:
+//   1. applies its link events (capacity-only; edge ids stay valid),
+//   2. asks the ReinstallPolicy whether to pay for Stage 2 again
+//      (`never` epochs skip Stage 2 entirely — install_ms stays 0),
+//   3. routes the epoch demand's covered part over the frozen paths and
+//      records a per-epoch report row (congestion, ratio, coverage,
+//      install vs route wall-ms).
+// Traffic that drifted to pairs with no installed candidates is NOT
+// routed; it is reported as lost coverage — the pressure that makes
+// reinstalling worth paying for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/sor_engine.h"
+#include "scenario/link_events.h"
+#include "scenario/traffic_model.h"
+
+namespace sor::scenario {
+
+/// When the runner re-runs Stage 2 (and optionally Stage 1). The initial
+/// install before epoch 0 always happens and is never counted as a
+/// "reinstall".
+struct ReinstallPolicy {
+  enum class Kind {
+    kNever,          ///< install once, amortize forever
+    kEveryK,         ///< every k-th epoch
+    kOnLinkEvent,    ///< after any epoch with link events
+    kOnSupportDrift  ///< when the uncovered demand fraction exceeds theta
+  };
+
+  Kind kind = Kind::kNever;
+  int k = 1;           ///< kEveryK period
+  double theta = 0.25; ///< kOnSupportDrift: uncovered-volume threshold
+
+  /// "never" | "every_k[:K]" | "on_link_event" | "on_support_drift[:THETA]".
+  static std::optional<ReinstallPolicy> parse(const std::string& text);
+  std::string to_string() const;
+
+  friend bool operator==(const ReinstallPolicy&,
+                         const ReinstallPolicy&) = default;
+};
+
+/// A whole scenario, self-contained (src/io/scenario_io.h gives it a
+/// check-in-and-diff text form; sor_cli --scenario runs it).
+struct ScenarioSpec {
+  std::string name = "scenario";
+  /// Topology by generator name: hypercube (size = dim), torus (size =
+  /// side), expander (size = n, `degree`), fattree (size = k), abilene.
+  std::string topology = "torus";
+  int size = 8;
+  int degree = 4;
+  /// Backend registry spec; empty picks the topology default.
+  std::string backend;
+  std::uint64_t seed = 1;
+  int epochs = 8;
+  int alpha = 4;
+  /// Stage 2 installs the union of supports of the next `install_horizon`
+  /// epochs (from the install epoch); <= 0 means the whole remaining
+  /// trace — "the customer pairs are public, the volumes are the hidden
+  /// demand", the closest match to the paper's install-before-reveal
+  /// barrier.
+  int install_horizon = 0;
+  /// Cap on MWU rounds per route (0 = library default).
+  int mwu_rounds = 0;
+  /// Solve the per-epoch offline optimum for the competitive ratio
+  /// (expensive; the bench turns it off).
+  bool measure_ratio = true;
+  /// Reinstalls also re-run Stage 1 on the current (event-mutated) graph.
+  bool rebuild_backend = false;
+  ReinstallPolicy reinstall;
+  TrafficModelSpec model;
+  LinkChurnSpec churn;
+  /// Explicit events, merged with the generated churn (both applied).
+  std::vector<LinkEvent> events;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// The materialized workload: one demand per epoch plus the merged,
+/// epoch-sorted event stream. A pure function of (spec, spec.seed).
+struct ScenarioTrace {
+  std::vector<Demand> demands;
+  std::vector<LinkEvent> events;
+};
+
+/// Builds the spec's topology (expander construction derives its stream
+/// from spec.seed, so the graph is part of the deterministic contract).
+/// Throws std::invalid_argument for unknown topology names / bad sizes.
+Graph make_scenario_graph(const ScenarioSpec& spec);
+
+/// The default backend spec for a topology name (mirrors sor_cli).
+std::string default_backend(const std::string& topology);
+
+/// Stage 1 over the spec's topology and backend: the engine the runner
+/// drives. `threads` sizes the worker pool (results thread-invariant).
+SorEngine build_scenario_engine(const ScenarioSpec& spec, int threads = 1);
+
+/// Materializes the epoch demands (one seed-split stream per epoch) and
+/// the event stream (explicit events + generated churn, epoch-sorted).
+/// Throws std::invalid_argument if an explicit event is outside the trace
+/// or names a non-edge — a typo'd hand-edited spec must not silently run
+/// a different workload than it describes.
+ScenarioTrace generate_trace(const Graph& g, const ScenarioSpec& spec);
+
+/// One row of the scenario's service log, in the canonical
+/// bench_common.h stage-row spirit: wall-times split by pipeline stage so
+/// the amortization gap (`never` pays install_ms == 0 after epoch 0) is
+/// directly visible.
+struct EpochReport {
+  int epoch = 0;
+  bool reinstalled = false;   ///< Stage 2 ran this epoch (true at epoch 0)
+  bool rebuilt = false;       ///< Stage 1 re-ran this epoch
+  int link_events = 0;        ///< events applied before this epoch
+  std::size_t support = 0;    ///< |supp| of the epoch demand
+  double offered = 0.0;       ///< siz(d): total volume revealed
+  double routed = 0.0;        ///< volume over pairs with installed paths
+  double coverage = 1.0;      ///< routed / offered (1 when offered == 0)
+  /// Uncovered volume fraction measured BEFORE any reinstall this epoch —
+  /// what the on_support_drift trigger compared against theta (0 at epoch
+  /// 0, where nothing is installed yet). Recorded for every policy, so an
+  /// external checker can re-derive whether the trigger should have fired.
+  double drift = 0.0;
+  double congestion = 0.0;    ///< fractional congestion of the routed part
+  double ratio = 0.0;         ///< vs offline optimum (0 if !measure_ratio)
+  std::size_t installed_pairs = 0;
+  std::size_t installed_paths = 0;
+  double install_ms = 0.0;    ///< Stage 2 (+ Stage 1 if rebuilt); 0 = skipped
+  double route_ms = 0.0;      ///< Stage 3
+  double optimum_ms = 0.0;    ///< offline-optimum oracle
+};
+
+struct ScenarioReport {
+  std::vector<EpochReport> epochs;
+  int reinstalls = 0;         ///< reinstalled epochs AFTER the initial one
+  double total_install_ms = 0.0;  ///< incl. the epoch-0 install
+  double total_route_ms = 0.0;
+  double total_optimum_ms = 0.0;
+  double max_congestion = 0.0;
+  double max_ratio = 0.0;
+  double mean_coverage = 1.0;
+  double min_coverage = 1.0;
+};
+
+/// Drives `engine` across the trace under the spec's ReinstallPolicy. The
+/// engine must have been built over make_scenario_graph(spec) (or an
+/// identical graph); its graph is mutated in place by link events and left
+/// in the final epoch's state. Reports are bit-identical across engine
+/// thread counts for a fixed spec (timing fields excepted).
+ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
+                            const ScenarioTrace& trace);
+
+/// Named built-in scenarios ("diurnal", "flashcrowd", "storm",
+/// "failover") — starting points to dump, edit, and re-run. Nullopt for
+/// unknown names.
+std::optional<ScenarioSpec> scenario_preset(const std::string& name);
+/// The preset names, sorted.
+std::vector<std::string> scenario_preset_names();
+
+}  // namespace sor::scenario

@@ -1,0 +1,74 @@
+// Traffic models: the demand-churn half of the scenario engine.
+//
+// A TrafficModelSpec names one synthetic production workload and its knobs;
+// epoch_demand() materializes the demand of one epoch. The contract that
+// makes whole traces reproducible is stream discipline, not statefulness:
+// epoch e draws ONLY from the Rng stream handed to it (seed-split from the
+// scenario seed in epoch order by generate_trace), so the epoch-e demand is
+// a pure function of (graph, spec, e, seed) — bit-identical however many
+// epochs ran before it and on every thread count.
+//
+// Workload catalog (all built on the core/demand.h generators):
+//   diurnal_gravity    gravity matrix whose total breathes sinusoidally —
+//                      fixed support, churning volumes (the friendliest
+//                      case for a frozen PathSystem);
+//   hotspot_burst      gravity base plus periodic incast bursts into a few
+//                      random sinks (transient support churn);
+//   flash_crowd        gravity base plus a crowd ramping into one sink and
+//                      decaying away (ramp/hold/decay trapezoid);
+//   permutation_storm  a fresh random permutation every epoch — maximal
+//                      support churn, the adversarial case for
+//                      reinstall=never;
+//   stride_sweep       stride permutation whose stride steps each epoch
+//                      (structured sweep, bad for axis-aligned routings).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/demand.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace sor::scenario {
+
+/// One named workload plus numeric knobs, in the same flat text form as
+/// BackendSpec ("diurnal_gravity:total=96,amplitude=0.5,period=8").
+struct TrafficModelSpec {
+  enum class Kind {
+    kDiurnalGravity,
+    kHotspotBurst,
+    kFlashCrowd,
+    kPermutationStorm,
+    kStrideSweep,
+  };
+
+  Kind kind = Kind::kDiurnalGravity;
+  std::map<std::string, double> params;
+
+  double param(const std::string& key, double fallback) const;
+  int param_int(const std::string& key, int fallback) const;
+
+  /// Parses "name" or "name:key=value,...". Returns nullopt for an unknown
+  /// model name, a knob the model does not declare, or a malformed spec —
+  /// scenario files are hand-edited, so typos must fail loudly, not
+  /// silently fall back to defaults.
+  static std::optional<TrafficModelSpec> parse(const std::string& text);
+
+  /// Round-trip back to the flat text form (knobs in sorted order).
+  std::string to_string() const;
+
+  static const char* kind_name(Kind kind);
+
+  friend bool operator==(const TrafficModelSpec&,
+                         const TrafficModelSpec&) = default;
+};
+
+/// The demand of epoch `epoch` under `spec`, drawing only from `rng` (the
+/// epoch's own seed-split stream). Deterministic models (diurnal gravity,
+/// stride sweep) ignore `rng` entirely.
+Demand epoch_demand(const Graph& g, const TrafficModelSpec& spec, int epoch,
+                    Rng& rng);
+
+}  // namespace sor::scenario

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "graph/shortest_path.h"
+
 namespace sor {
 namespace {
 
@@ -30,13 +32,16 @@ SimulationResult simulate_packets(const Graph& g,
 
   // Resolve every packet's edge ids exactly once, into one flat arena; the
   // static accounting below and the per-step hops of the simulation loop
-  // then index it instead of re-hashing through edge_between.
+  // then index it instead of re-hashing through edge_between. Resolution
+  // runs over one FlatAdjacency CSR snapshot — a contiguous arc scan per
+  // hop instead of a hash lookup — with ids (hence makespans) bit-identical
+  // to the edge_between route (see path_edge_ids(FlatAdjacency, ...)).
+  const FlatAdjacency adj(g);
   std::vector<int> edge_arena;
   std::vector<std::size_t> first(num_packets + 1, 0);
   for (std::size_t p = 0; p < num_packets; ++p) {
     assert(!paths[p].empty());
-    const auto ids = path_edge_ids(g, paths[p]);
-    edge_arena.insert(edge_arena.end(), ids.begin(), ids.end());
+    append_path_edge_ids(adj, g, paths[p], edge_arena);
     first[p + 1] = edge_arena.size();
   }
 

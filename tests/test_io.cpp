@@ -41,6 +41,35 @@ TEST(Io, GraphRejectsMalformedInput) {
     std::stringstream buffer("2 1\n0 5 1.0\n");  // vertex out of range
     EXPECT_FALSE(io::read_graph(buffer).has_value());
   }
+  {
+    std::stringstream buffer("2 1 extra\n0 1 1.0\n");  // header garbage
+    EXPECT_FALSE(io::read_graph(buffer).has_value());
+  }
+  {
+    std::stringstream buffer("2 1\n0 1 1.0 junk\n");  // edge-line garbage
+    EXPECT_FALSE(io::read_graph(buffer).has_value());
+  }
+  {
+    std::stringstream buffer("2 1\n0 1 x\n");  // non-numeric capacity
+    EXPECT_FALSE(io::read_graph(buffer).has_value());
+  }
+}
+
+TEST(Io, GraphToleratesHandEditedWhitespaceAndComments) {
+  // Blank lines, trailing whitespace/CR, full-line and inline comments:
+  // the shape a checked-in, hand-edited file actually has.
+  std::stringstream buffer(
+      "# topology\n"
+      "\n"
+      "3 2   # n m\n"
+      "0 1 2.5\t\n"
+      "   \n"
+      "1 2 1.0 # uplink\r\n");
+  const auto g = io::read_graph(buffer);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 3);
+  EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g->edge(0).capacity, 2.5);
 }
 
 TEST(Io, DemandRoundTrip) {
@@ -74,6 +103,24 @@ TEST(Io, DemandRejectsSelfLoopAndNegatives) {
   }
 }
 
+TEST(Io, DemandRejectsTrailingGarbageInsteadOfIgnoringIt) {
+  {
+    std::stringstream buffer("0 1 2.0 surprise\n");
+    EXPECT_FALSE(io::read_demand(buffer).has_value());
+  }
+  {
+    std::stringstream buffer("0 1\n");  // missing value
+    EXPECT_FALSE(io::read_demand(buffer).has_value());
+  }
+  {
+    // Inline comments and trailing whitespace are NOT garbage.
+    std::stringstream buffer("0 1 2.0   # peak-hour flow\t\n");
+    const auto d = io::read_demand(buffer);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_DOUBLE_EQ(d->at(0, 1), 2.0);
+  }
+}
+
 TEST(Io, PathSystemRoundTrip) {
   const Graph g = gen::grid(3, 3);
   RandomShortestPathRouting routing(g);
@@ -95,6 +142,21 @@ TEST(Io, PathSystemRejectsInvalidPath) {
   const Graph g = gen::grid(2, 2);
   std::stringstream buffer("0 3 0 3\n");  // 0 and 3 are not adjacent
   EXPECT_FALSE(io::read_path_system(buffer, g).has_value());
+}
+
+TEST(Io, PathSystemRejectsNonNumericVertexTokens) {
+  const Graph g = gen::grid(2, 2);
+  {
+    // grid(2,2) vertex order: 0-1 top row, 2-3 bottom; 0-1-3 is a path.
+    std::stringstream buffer("0 3 0 1 3 oops\n");
+    EXPECT_FALSE(io::read_path_system(buffer, g).has_value());
+  }
+  {
+    std::stringstream buffer("0 3 0 1 3   # valid, commented\n");
+    const auto ps = io::read_path_system(buffer, g);
+    ASSERT_TRUE(ps.has_value());
+    EXPECT_EQ(ps->total_paths(), 1u);
+  }
 }
 
 TEST(Io, DotOutputContainsEdgesAndLoads) {
