@@ -30,6 +30,7 @@
 #include "graph/generators.h"
 #include "io/scenario_io.h"
 #include "io/serialization.h"
+#include "runtime/alloc_stats.h"
 #include "scenario/scenario.h"
 #include "util/table.h"
 
@@ -51,6 +52,7 @@ struct Options {
   int batch = 1;
   bool integral = false;
   bool fast_math = false;
+  bool mem_stats = false;  // print the service-memory gauges after the run
   std::string dot_path;
   // Scenario mode (either one set => run the scenario engine instead).
   std::string scenario_path;
@@ -68,13 +70,13 @@ void usage() {
       "               [--size N] [--alpha A] "
       "[--demand permutation|bitreversal|gravity|pairs]\n"
       "               [--backend SPEC] [--seed S] [--threads N] [--batch B]\n"
-      "               [--integral] [--fast-math] [--dot FILE] "
+      "               [--integral] [--fast-math] [--mem-stats] [--dot FILE] "
       "[--list-backends]\n"
       "       sor_cli --scenario FILE | --scenario-preset NAME\n"
       "               [--reinstall POLICY] [--epochs E] [--seed S] "
       "[--threads N]\n"
-      "               [--backend SPEC] [--alpha A] [--scenario-out FILE] "
-      "[--trace-out FILE]\n"
+      "               [--backend SPEC] [--alpha A] [--mem-stats] "
+      "[--scenario-out FILE] [--trace-out FILE]\n"
       "\n"
       "SPEC is a registry name with optional numeric params, e.g.\n"
       "  racke:num_trees=10,eta=6   (see --list-backends)\n"
@@ -84,6 +86,10 @@ void usage() {
       "--fast-math opts the MWU solvers into the relaxed-bit-identity\n"
       "accumulator-sum mode (outputs within 5%% of exact, certificates\n"
       "stay valid; see MinCongestionOptions::fast_math). Off by default.\n"
+      "--mem-stats prints the service-memory gauges after the run: the\n"
+      "PathStore arena, live paths, process RSS, and the route call's heap\n"
+      "allocation counters (all-zero unless the build defines\n"
+      "SOR_ALLOC_STATS; see src/runtime/alloc_stats.h).\n"
       "\n"
       "Scenario mode drives the engine across a trace of epochal demands\n"
       "with link events under a reinstall policy (never / every_k:K /\n"
@@ -183,6 +189,8 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
       opt.integral = true;
     } else if (!std::strcmp(argv[i], "--fast-math")) {
       opt.fast_math = true;
+    } else if (!std::strcmp(argv[i], "--mem-stats")) {
+      opt.mem_stats = true;
     } else if (!std::strcmp(argv[i], "--dot")) {
       const char* v = next("--dot");
       if (!v) return false;
@@ -210,6 +218,19 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
     return false;
   }
   return true;
+}
+
+/// --mem-stats: the engine-side service-memory gauges, shared by both
+/// modes. Allocation counters print as "off" when the build does not
+/// interpose operator new (sanitizer builds, -DSOR_ALLOC_STATS=OFF).
+void print_mem_stats(const sor::SorEngine& engine) {
+  const sor::SorEngine::MemStats ms = engine.mem_stats();
+  std::printf(
+      "memory: path arena %zu/%zu ints, %zu paths over %zu pairs, "
+      "rss %.1f MiB (alloc counters %s)\n",
+      ms.arena_ints, ms.arena_capacity, ms.live_paths, ms.installed_pairs,
+      static_cast<double>(ms.rss_bytes) / (1024.0 * 1024.0),
+      sor::runtime::counting_compiled() ? "on" : "off");
 }
 
 /// The topology's graph plus its default substrate spec.
@@ -366,6 +387,21 @@ int run_scenario_mode(const Options& opt) {
       report.reinstalls, report.total_install_ms, report.total_route_ms,
       report.max_congestion, report.max_ratio, report.mean_coverage,
       report.min_coverage);
+  if (opt.mem_stats) {
+    print_mem_stats(engine);
+    // Epoch 0 is warm-up (cold scratch arenas); afterwards a steady-state
+    // epoch should route with 0 heap allocations.
+    unsigned long long warmup = 0, steady_max = 0;
+    for (const scn::EpochReport& row : report.epochs) {
+      if (row.epoch == 0) {
+        warmup = row.route_allocs;
+      } else {
+        steady_max = std::max<unsigned long long>(steady_max, row.route_allocs);
+      }
+    }
+    std::printf("route allocs: %llu at epoch 0 (warm-up), max %llu after\n",
+                warmup, steady_max);
+  }
   return 0;
 }
 
@@ -467,6 +503,15 @@ int main(int argc, char** argv) {
         std::printf("(--integral skipped: no demand in the batch is integral)\n");
       }
     }
+    if (opt.mem_stats) {
+      print_mem_stats(engine);
+      unsigned long long max_allocs = 0;
+      for (const sor::RouteReport& r : batch.reports) {
+        max_allocs = std::max<unsigned long long>(max_allocs, r.mem.allocs);
+      }
+      std::printf("route allocs: max %llu per demand (cold scratch)\n",
+                  max_allocs);
+    }
     if (!opt.dot_path.empty()) {
       std::fprintf(stderr,
                    "(--dot ignored: per-demand load drawing needs --batch 1)\n");
@@ -484,6 +529,12 @@ int main(int argc, char** argv) {
       "optimum %.0f ms\n",
       report.times.build_ms, report.times.sample_ms, report.times.route_ms,
       report.times.optimum_ms);
+  if (opt.mem_stats) {
+    print_mem_stats(engine);
+    std::printf("route allocs: %llu (%.1f KiB requested; cold scratch)\n",
+                static_cast<unsigned long long>(report.mem.allocs),
+                static_cast<double>(report.mem.alloc_bytes) / 1024.0);
+  }
 
   if (opt.integral && report.integral) {
     std::printf("integral congestion: %.0f\n", report.integral->congestion);

@@ -139,23 +139,51 @@ const PathSystem& SorEngine::install_paths(const SamplingSpec& spec) {
   }
   const auto start = Clock::now();
   util::ThreadPool* workers = pool();
-  if (spec.pairs.empty() && !spec.all_pairs) {
-    paths_ = PathSystem(*graph_);  // explicit empty install
+  // Reinstall into the EXISTING system when one is bound to our graph:
+  // begin_reinstall() drops the pair index but keeps the interning arena,
+  // sampling appends the new paths' slabs behind the (now dead) old ones,
+  // and compact_store() slides them down in place. The arena stays bounded
+  // by the live support across arbitrarily many reinstalls, and its
+  // capacity is reused instead of reallocated. Sampling draws and insertion
+  // order are identical to a fresh install, and every consumer reads slab
+  // contents through remapped refs, so route results are bit-identical to
+  // the replace-the-system behavior this supersedes.
+  if (paths_ && paths_->flat_for(*graph_)) {
+    paths_->begin_reinstall();
   } else {
+    paths_.emplace(*graph_);
+  }
+  if (!(spec.pairs.empty() && !spec.all_pairs)) {  // else: explicit empty
     std::vector<std::pair<int, int>> all;
     const std::vector<std::pair<int, int>>* pairs = &spec.pairs;
     if (spec.pairs.empty()) {
       all = all_ordered_pairs(graph_->num_vertices());
       pairs = &all;
     }
-    paths_ = spec.with_cut
-                 ? sample_path_system_with_cut(*backend_, spec.alpha, *pairs,
-                                               rng_, workers)
-                 : sample_path_system(*backend_, spec.alpha, *pairs, rng_,
-                                      workers);
+    if (spec.with_cut) {
+      sample_path_system_with_cut_into(*backend_, spec.alpha, *pairs, rng_,
+                                       workers, *paths_);
+    } else {
+      sample_path_system_into(*backend_, spec.alpha, *pairs, rng_, workers,
+                              *paths_);
+    }
   }
+  paths_->compact_store();
   sample_ms_ = ms_since(start);
   return *paths_;
+}
+
+SorEngine::MemStats SorEngine::mem_stats() const {
+  MemStats stats;
+  if (paths_) {
+    const PathStore& store = paths_->store();
+    stats.arena_ints = store.arena_size();
+    stats.arena_capacity = store.arena_capacity();
+    stats.live_paths = store.num_paths();
+    stats.installed_pairs = paths_->num_pairs();
+  }
+  stats.rss_bytes = runtime::rss_bytes();
+  return stats;
 }
 
 const PathSystem& SorEngine::paths() const {
@@ -182,6 +210,14 @@ void SorEngine::require_installed_pairs(const Demand& demand) const {
 RouteReport SorEngine::route(const Demand& demand, const RouteSpec& spec) {
   require_installed_pairs(demand);
   return route_one(demand, spec, rng_);
+}
+
+RouteReport& SorEngine::route_into(const Demand& demand, const RouteSpec& spec,
+                                   RouteReport& out) {
+  require_installed_pairs(demand);
+  auto scratch = scratch_pool_.acquire();
+  route_one_into(demand, spec, rng_, *scratch, out);
+  return out;
 }
 
 BatchReport SorEngine::route_batch(std::span<const Demand> demands,
@@ -221,11 +257,27 @@ BatchReport SorEngine::route_batch(std::span<const Demand> demands,
 
 RouteReport SorEngine::route_one(const Demand& demand, const RouteSpec& spec,
                                  Rng& rng) const {
+  RouteReport report;
+  auto scratch = scratch_pool_.acquire();
+  route_one_into(demand, spec, rng, *scratch, report);
+  return report;
+}
+
+void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
+                               Rng& rng, runtime::EngineScratch& scratch,
+                               RouteReport& out) const {
   const PathSystem& ps = *paths_;
 
-  RouteReport report;
-  report.times.build_ms = build_ms_;
-  report.times.sample_ms = sample_ms_;
+  // The probe covers the whole stage-3..5 pipeline on this thread; a warm
+  // scratch + reused `out` make the delta zero in the steady state.
+  const runtime::AllocProbe probe;
+
+  out.times = StageTimes{};
+  out.times.build_ms = build_ms_;
+  out.times.sample_ms = sample_ms_;
+  out.optimum.reset();
+  out.integral.reset();
+  out.simulation.reset();
 
   // RouteSpec::fast_math is a convenience alias for mwu.fast_math; either
   // spelling opts the whole route (restricted solve + optimum oracle) in.
@@ -234,55 +286,65 @@ RouteReport SorEngine::route_one(const Demand& demand, const RouteSpec& spec,
 
   {
     const auto start = Clock::now();
-    report.solution = spec.exact
-                          ? route_fractional_exact(*graph_, ps, demand)
-                          : route_fractional(*graph_, ps, demand, mwu);
-    report.times.route_ms = ms_since(start);
+    if (spec.exact) {
+      out.solution = route_fractional_exact(*graph_, ps, demand);
+    } else {
+      route_fractional_into(*graph_, ps, demand, mwu, scratch.route,
+                            out.solution);
+    }
+    out.times.route_ms = ms_since(start);
   }
-  report.congestion = report.solution.congestion;
+  out.congestion = out.solution.congestion;
 
   double lb = 0.0;
   if (spec.compute_lower_bound) {
-    lb = distance_lower_bound(*graph_, demand);
+    lb = distance_lower_bound(*graph_, demand, scratch.distance);
     if (graph_->total_capacity() > 0.0) {
       lb = std::max(lb, demand.size() / graph_->total_capacity());
     }
   }
   if (spec.compute_optimum) {
     const auto start = Clock::now();
-    report.optimum = optimal_congestion(*graph_, demand, mwu);
-    report.times.optimum_ms = ms_since(start);
-    lb = std::max(lb, report.optimum->value());
+    out.optimum = optimal_congestion(*graph_, demand, mwu, scratch.optimum);
+    out.times.optimum_ms = ms_since(start);
+    lb = std::max(lb, out.optimum->value());
   }
-  report.opt_lower_bound = lb;
-  report.competitive_ratio = lb > 0.0 ? report.congestion / lb : 0.0;
+  out.opt_lower_bound = lb;
+  out.competitive_ratio = lb > 0.0 ? out.congestion / lb : 0.0;
 
   if ((spec.round_integral || spec.simulate_packets) &&
       is_near_integral(demand)) {
     const auto start = Clock::now();
     IntegralSolution integral =
-        round_randomized(*graph_, report.solution, rng, spec.rounding_trials);
+        round_randomized(*graph_, out.solution, rng, spec.rounding_trials);
     local_search_improve(*graph_, integral);
-    report.times.rounding_ms = ms_since(start);
-    report.integral = std::move(integral);
+    out.times.rounding_ms = ms_since(start);
+    out.integral = std::move(integral);
   }
 
-  if (spec.simulate_packets && report.integral) {
-    // One store-and-forward packet per routed demand unit.
-    std::vector<Path> packet_paths;
-    const IntegralSolution& integral = *report.integral;
+  if (spec.simulate_packets && out.integral) {
+    // One store-and-forward packet per routed demand unit, staged into the
+    // scratch's reused path buffers.
+    auto& packet_paths = scratch.packet_paths;
+    const IntegralSolution& integral = *out.integral;
+    std::size_t num_packets = 0;
+    for (std::size_t j = 0; j < integral.choices.size(); ++j) {
+      num_packets += integral.choices[j].size();
+    }
+    packet_paths.resize(num_packets);
+    std::size_t next = 0;
     for (std::size_t j = 0; j < integral.choices.size(); ++j) {
       for (int choice : integral.choices[j]) {
-        packet_paths.push_back(
-            integral.paths[j][static_cast<std::size_t>(choice)]);
+        const Path& p = integral.paths[j][static_cast<std::size_t>(choice)];
+        packet_paths[next++].assign(p.begin(), p.end());
       }
     }
     const auto start = Clock::now();
-    report.simulation =
-        simulate_packets(*graph_, packet_paths, spec.policy, rng);
-    report.times.sim_ms = ms_since(start);
+    out.simulation = simulate_packets(*graph_, packet_paths, spec.policy, rng);
+    out.times.sim_ms = ms_since(start);
   }
-  return report;
+
+  out.mem = probe.delta();
 }
 
 }  // namespace sor

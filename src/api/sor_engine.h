@@ -42,6 +42,8 @@
 #include "core/rounding.h"
 #include "core/semi_oblivious.h"
 #include "graph/graph.h"
+#include "runtime/alloc_stats.h"
+#include "runtime/scratch.h"
 #include "sim/packet_sim.h"
 #include "util/thread_pool.h"
 
@@ -129,6 +131,13 @@ struct RouteReport {
   std::optional<SimulationResult> simulation;
 
   StageTimes times;
+
+  /// Heap-allocation delta of this route call's stages 3..5, measured on
+  /// the routing thread (AllocProbe). All-zero when the build does not
+  /// interpose operator new (see runtime::counting_compiled()) — a warm
+  /// steady-state route reports 0 allocs, the contract
+  /// bench_m7_service_memory gates.
+  runtime::AllocCounters mem;
 };
 
 /// Aggregate of route_batch(): one RouteReport per demand (in input order)
@@ -165,7 +174,11 @@ class SorEngine {
                          std::uint64_t seed = 1, int threads = 1);
 
   /// Stage 2: samples and freezes the candidate PathSystem, replacing any
-  /// previously installed one. Returns the frozen system.
+  /// previously installed one. Reinstalls recycle the existing system's
+  /// interning arena in place (begin_reinstall + post-sampling compaction),
+  /// so a reinstall-heavy service keeps its path memory bounded by the live
+  /// support instead of leaking one abandoned arena per install. Returns
+  /// the frozen system.
   const PathSystem& install_paths(const SamplingSpec& spec);
 
   /// Stage 3..5 for one revealed demand, over the frozen PathSystem.
@@ -173,6 +186,15 @@ class SorEngine {
   /// std::invalid_argument if the demand has a support pair with no
   /// installed candidate paths.
   RouteReport route(const Demand& demand, const RouteSpec& spec = {});
+
+  /// Buffer-reusing form of route(): refills `out`'s nested buffers in
+  /// place (capacities retained) with exactly what route() would return —
+  /// route() is a thin wrapper over this. Together with the engine's
+  /// internal scratch pool this makes a steady-state serving loop
+  /// allocation-free after warm-up; `out.mem` reports the measured
+  /// allocation delta of each call. Returns `out`.
+  RouteReport& route_into(const Demand& demand, const RouteSpec& spec,
+                          RouteReport& out);
 
   /// Stage 3..5 for MANY revealed demands over the one frozen PathSystem,
   /// routed concurrently across the engine's pool. Demand i draws from its
@@ -223,6 +245,16 @@ class SorEngine {
 
   double build_ms() const { return build_ms_; }
   double sample_ms() const { return sample_ms_; }
+
+  /// Memory gauges of the long-lived service state (sor_cli --mem-stats).
+  struct MemStats {
+    std::size_t arena_ints = 0;       ///< live PathStore arena size, in ints
+    std::size_t arena_capacity = 0;   ///< arena capacity, in ints
+    std::size_t live_paths = 0;       ///< interned paths currently live
+    std::size_t installed_pairs = 0;  ///< pairs with >= 1 candidate
+    std::size_t rss_bytes = 0;        ///< process RSS (0 if unavailable)
+  };
+  MemStats mem_stats() const;
   /// The engine's deterministic random stream (construction + sampling +
   /// rounding draw from it in order).
   Rng& rng() { return rng_; }
@@ -235,6 +267,10 @@ class SorEngine {
   /// stream for route_batch()).
   RouteReport route_one(const Demand& demand, const RouteSpec& spec,
                         Rng& rng) const;
+  /// The real stage-3..5 implementation: all working state in `scratch`,
+  /// the report refilled in place. route_one/route/route_into wrap this.
+  void route_one_into(const Demand& demand, const RouteSpec& spec, Rng& rng,
+                      runtime::EngineScratch& scratch, RouteReport& out) const;
   void require_installed_pairs(const Demand& demand) const;
   /// The pool sized to threads_, created on first parallel use (nullptr
   /// while threads_ == 1).
@@ -254,6 +290,10 @@ class SorEngine {
   Rng rng_{1};
   int threads_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Leased per route_one call (one per concurrently-active call; see
+  /// runtime::ScratchPool). mutable: scratch contents never influence
+  /// results, so lending one out is logically const.
+  mutable runtime::ScratchPool scratch_pool_;
   double build_ms_ = 0.0;
   double sample_ms_ = 0.0;
 };

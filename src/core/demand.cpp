@@ -42,11 +42,16 @@ bool Demand::is_zero_one() const {
 
 std::vector<Commodity> Demand::commodities() const {
   std::vector<Commodity> out;
+  commodities_into(out);
+  return out;
+}
+
+void Demand::commodities_into(std::vector<Commodity>& out) const {
+  out.clear();
   out.reserve(values_.size());
   for (const auto& [pair, value] : values_) {
     out.push_back(Commodity{pair.first, pair.second, value});
   }
-  return out;
 }
 
 Demand Demand::minus(const Demand& d1, const Demand& d2) {

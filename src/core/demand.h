@@ -44,6 +44,11 @@ class Demand {
   /// Conversion for the LP solvers.
   std::vector<Commodity> commodities() const;
 
+  /// Reuse-fill form of commodities(): identical content and order, but
+  /// into a caller-owned vector whose capacity is retained across calls
+  /// (the steady-state serving loop's representation of choice).
+  void commodities_into(std::vector<Commodity>& out) const;
+
   /// The sub-demand restricted to pairs accepted by `keep`.
   template <typename Predicate>
   Demand filtered(Predicate&& keep) const {

@@ -31,6 +31,25 @@ struct PathRef {
   std::int32_t hops = 0;    ///< edges on the path (vertices = hops + 1)
 };
 
+/// The offset rewrite produced by PathStore::compact: old slab offsets ->
+/// new (slid-down) offsets, sorted ascending. Every holder of refs into
+/// the compacted store (PathSystem's pair index, engine-held refs) rewrites
+/// them through the ONE remap of that compaction; a ref the compaction was
+/// not told about is dead by definition and remap() asserts on it.
+class PathRemap {
+ public:
+  /// The re-based ref (same hops, slid-down offset). Asserts that `ref`
+  /// was in the compaction's live set.
+  PathRef operator()(PathRef ref) const;
+
+  std::size_t live_paths() const { return from_.size(); }
+
+ private:
+  friend class PathStore;
+  std::vector<std::int64_t> from_;  // old offsets, ascending
+  std::vector<std::int64_t> to_;    // new offset per old offset
+};
+
 /// Append-only interning arena for simple paths of one fixed graph.
 class PathStore {
  public:
@@ -51,6 +70,32 @@ class PathStore {
   /// without re-resolving edges; returns the re-based ref.
   PathRef adopt(const PathStore& other, PathRef ref);
 
+  /// Pre-sizes the arena for `paths` paths spanning `edges` hops total
+  /// (each path of h hops occupies 2h + 1 ints, so the reservation is
+  /// 2 * edges + paths ints on top of the current size). Lets a warm-up
+  /// pass bound interning to one allocation.
+  void reserve(std::size_t paths, std::size_t edges) {
+    data_.reserve(data_.size() + 2 * edges + paths);
+  }
+
+  /// Drops every path but keeps the arena's capacity — the degenerate
+  /// (empty live set) compaction, used when NO existing ref survives a
+  /// reinstall.
+  void clear() {
+    data_.clear();
+    num_paths_ = 0;
+  }
+
+  /// In-place compaction/GC: keeps exactly the slabs behind `live`
+  /// (duplicate refs to one slab are fine) and slides them down the arena
+  /// in offset order, dropping everything else. Capacity is retained, so a
+  /// reinstall cycle of clear-ish churn settles into zero arena
+  /// reallocation. Returns the remap every other holder of refs must
+  /// rewrite through; slab CONTENTS are untouched, so spans read through
+  /// remapped refs are bit-identical to the pre-compaction reads (the
+  /// route-result invariance tests/test_runtime.cpp pins).
+  PathRemap compact(std::span<const PathRef> live);
+
   std::span<const int> vertices(PathRef ref) const {
     return {data_.data() + ref.offset, static_cast<std::size_t>(ref.hops) + 1};
   }
@@ -67,6 +112,7 @@ class PathStore {
 
   std::size_t num_paths() const { return num_paths_; }
   std::size_t arena_size() const { return data_.size(); }
+  std::size_t arena_capacity() const { return data_.capacity(); }
 
  private:
   const Graph* g_ = nullptr;
@@ -82,9 +128,24 @@ class PathStore {
 /// otherwise (flatten_candidates).
 class FlatCandidates {
  public:
-  void reserve(std::size_t paths, std::size_t edges) {
+  /// Pre-sizes all three internal vectors. `commodities == 0` (the common
+  /// call sites don't know the commodity count up front) falls back to
+  /// `paths` — an over-reserve, never an under-reserve.
+  void reserve(std::size_t paths, std::size_t edges,
+               std::size_t commodities = 0) {
     path_first_.reserve(paths + 1);
     arena_.reserve(edges);
+    commodity_first_.reserve((commodities == 0 ? paths : commodities) + 1);
+  }
+
+  /// Resets to the empty prefix state, retaining every vector's capacity —
+  /// the rebuild-per-solve path this enables is allocation-free once warm.
+  void clear() {
+    arena_.clear();
+    path_first_.clear();
+    path_first_.push_back(0);
+    commodity_first_.clear();
+    commodity_first_.push_back(0);
   }
 
   /// Appends one candidate path for the CURRENT commodity.

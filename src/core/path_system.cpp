@@ -43,6 +43,34 @@ bool PathSystem::has_pair(int s, int t) const {
   return paths_.find({s, t}) != paths_.end();
 }
 
+void PathSystem::begin_reinstall() {
+  paths_.clear();
+  refs_.clear();
+  sparsity_ = 0;
+  total_paths_ = 0;
+  // store_ intentionally untouched: its slabs are now dead but its capacity
+  // is the budget the next install's interning runs inside. compact_store()
+  // after re-sampling reclaims the dead prefix in place.
+}
+
+std::size_t PathSystem::compact_store() {
+  if (store_.graph() == nullptr) return 0;
+  const std::size_t before = store_.arena_size();
+  // Gather live refs in ORDERED pair-map order so the compacted layout (and
+  // with it every downstream arena dump) is deterministic regardless of
+  // refs_'s unordered iteration order.
+  std::vector<PathRef> live;
+  live.reserve(total_paths_);
+  for (const auto& [pair, list] : paths_) {
+    for (PathRef ref : refs(pair.first, pair.second)) live.push_back(ref);
+  }
+  const PathRemap remap = store_.compact(live);
+  for (auto& [key, refs] : refs_) {
+    for (PathRef& ref : refs) ref = remap(ref);
+  }
+  return before - store_.arena_size();
+}
+
 void PathSystem::merge(const PathSystem& other) {
   assert(n_ == 0 || other.num_vertices() == 0 || n_ == other.num_vertices());
   // When both systems are interned against the same graph, slabs are copied
@@ -75,12 +103,13 @@ void PathSystem::merge(const PathSystem& other) {
   }
 }
 
-FlatCandidates flat_candidates(const PathSystem& ps,
-                               const std::vector<Commodity>& commodities) {
+void flat_candidates_into(const PathSystem& ps,
+                          const std::vector<Commodity>& commodities,
+                          FlatCandidates& out) {
   assert(ps.store().graph() != nullptr &&
          "flat_candidates requires a graph-bound path system");
   const PathStore& store = ps.store();
-  FlatCandidates flat;
+  out.clear();
   std::size_t total_paths = 0;
   std::size_t total_edges = 0;
   for (const Commodity& c : commodities) {
@@ -89,26 +118,36 @@ FlatCandidates flat_candidates(const PathSystem& ps,
       total_edges += static_cast<std::size_t>(ref.hops);
     }
   }
-  flat.reserve(total_paths, total_edges);
+  out.reserve(total_paths, total_edges, commodities.size());
   for (const Commodity& c : commodities) {
     for (PathRef ref : ps.refs(c.s, c.t)) {
-      flat.add_path(store.edge_ids(ref));
+      out.add_path(store.edge_ids(ref));
     }
-    flat.end_commodity();
+    out.end_commodity();
   }
+}
+
+FlatCandidates flat_candidates(const PathSystem& ps,
+                               const std::vector<Commodity>& commodities) {
+  FlatCandidates flat;
+  flat_candidates_into(ps, commodities, flat);
   return flat;
 }
 
 namespace {
 
 /// Shared fan-out skeleton of the two samplers: `draws(i)` paths for pair
-/// i, each pair on its own seed-split stream, results appended in pair
-/// order. Pair-independent streams make the output thread-count invariant.
+/// i, each pair on its own seed-split stream, results appended to `ps` in
+/// pair order. Pair-independent streams make the output thread-count
+/// invariant, and appending into a caller-owned system lets a service
+/// reinstall into the same arena it has been serving from.
 template <typename DrawCount>
-PathSystem sample_pairs(const ObliviousRouting& routing,
-                        const std::vector<std::pair<int, int>>& pairs,
-                        Rng& rng, util::ThreadPool* pool,
-                        const DrawCount& draws) {
+void sample_pairs_into(const ObliviousRouting& routing,
+                       const std::vector<std::pair<int, int>>& pairs,
+                       Rng& rng, util::ThreadPool* pool,
+                       const DrawCount& draws, PathSystem& ps) {
+  assert(ps.flat_for(routing.graph()) &&
+         "sample_pairs_into requires a system bound to the routing's graph");
   std::vector<Rng> streams = rng.split(pairs.size());
   std::vector<std::vector<Path>> sampled(pairs.size());
   auto sample_one = [&](std::size_t i) {
@@ -125,23 +164,30 @@ PathSystem sample_pairs(const ObliviousRouting& routing,
   } else {
     for (std::size_t i = 0; i < pairs.size(); ++i) sample_one(i);
   }
-  PathSystem ps(routing.graph());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     for (Path& path : sampled[i]) {
       ps.add_path(pairs[i].first, pairs[i].second, std::move(path));
     }
   }
-  return ps;
 }
 
 }  // namespace
 
+void sample_path_system_into(const ObliviousRouting& routing, int alpha,
+                             const std::vector<std::pair<int, int>>& pairs,
+                             Rng& rng, util::ThreadPool* pool,
+                             PathSystem& ps) {
+  assert(alpha >= 1);
+  sample_pairs_into(routing, pairs, rng, pool,
+                    [alpha](std::size_t) { return alpha; }, ps);
+}
+
 PathSystem sample_path_system(const ObliviousRouting& routing, int alpha,
                               const std::vector<std::pair<int, int>>& pairs,
                               Rng& rng, util::ThreadPool* pool) {
-  assert(alpha >= 1);
-  return sample_pairs(routing, pairs, rng, pool,
-                      [alpha](std::size_t) { return alpha; });
+  PathSystem ps(routing.graph());
+  sample_path_system_into(routing, alpha, pairs, rng, pool, ps);
+  return ps;
 }
 
 std::vector<std::pair<int, int>> all_ordered_pairs(int n) {
@@ -166,17 +212,29 @@ PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
                             rng, pool);
 }
 
-PathSystem sample_path_system_with_cut(
+void sample_path_system_with_cut_into(
     const ObliviousRouting& routing, int alpha,
     const std::vector<std::pair<int, int>>& pairs, Rng& rng,
-    util::ThreadPool* pool) {
+    util::ThreadPool* pool, PathSystem& ps) {
   assert(alpha >= 1);
   const Graph& g = routing.graph();
   // The Dinic cut runs inside the fan-out too: it is deterministic, so it
   // only affects the per-pair draw count, never the stream assignment.
-  return sample_pairs(routing, pairs, rng, pool, [&](std::size_t i) {
-    return alpha + cut_value(g, pairs[i].first, pairs[i].second);
-  });
+  sample_pairs_into(
+      routing, pairs, rng, pool,
+      [&](std::size_t i) {
+        return alpha + cut_value(g, pairs[i].first, pairs[i].second);
+      },
+      ps);
+}
+
+PathSystem sample_path_system_with_cut(
+    const ObliviousRouting& routing, int alpha,
+    const std::vector<std::pair<int, int>>& pairs, Rng& rng,
+    util::ThreadPool* pool) {
+  PathSystem ps(routing.graph());
+  sample_path_system_with_cut_into(routing, alpha, pairs, rng, pool, ps);
+  return ps;
 }
 
 std::vector<std::pair<int, int>> support_pairs(const Demand& d) {

@@ -94,6 +94,24 @@ class PathSystem {
   /// a miss or an unbound system.
   std::span<const PathRef> refs(int s, int t) const;
 
+  // ---- reinstall lifecycle (service runtime) ---------------------------
+
+  /// Begins a reinstall cycle on a long-lived system: drops the pair index
+  /// (paths_, refs_, counters) but KEEPS the interning arena — the old
+  /// slabs become dead weight that the post-sampling compact_store() call
+  /// reclaims in place. Container capacities (including the per-pair ref
+  /// vectors' node allocations) are released with the index; the arena,
+  /// which dominates the footprint, is not.
+  void begin_reinstall();
+
+  /// In-place GC of the interning arena: compacts the store down to the
+  /// slabs currently referenced by the pair index and rewrites every ref
+  /// through the remap. Layout is deterministic — live slabs are gathered
+  /// by iterating the ORDERED pair map, not the unordered ref index — so a
+  /// fixed seed still yields a bit-identical arena. No-op for unbound
+  /// systems. Returns the number of ints reclaimed.
+  std::size_t compact_store();
+
  private:
   static std::int64_t pair_key(int s, int t) {
     return (static_cast<std::int64_t>(s) << 32) |
@@ -114,6 +132,13 @@ class PathSystem {
 FlatCandidates flat_candidates(const PathSystem& ps,
                                const std::vector<Commodity>& commodities);
 
+/// Scratch-reusing variant: clears `out` (capacity retained) and refills
+/// it with the identical gather — the steady-state form route_fractional's
+/// scratch path uses to rebuild candidates with zero allocation once warm.
+void flat_candidates_into(const PathSystem& ps,
+                          const std::vector<Commodity>& commodities,
+                          FlatCandidates& out);
+
 /// All n*(n-1) ordered vertex pairs, lexicographic.
 std::vector<std::pair<int, int>> all_ordered_pairs(int n);
 
@@ -128,6 +153,15 @@ PathSystem sample_path_system(const ObliviousRouting& routing, int alpha,
                               const std::vector<std::pair<int, int>>& pairs,
                               Rng& rng, util::ThreadPool* pool = nullptr);
 
+/// Appending variant for a long-lived system: samples into `ps` (which must
+/// be bound to routing.graph(); typically just begin_reinstall()'ed) instead
+/// of constructing a fresh one, so the interning arena's capacity survives
+/// reinstall cycles. Identical draws and insertion order to
+/// sample_path_system on an empty system.
+void sample_path_system_into(const ObliviousRouting& routing, int alpha,
+                             const std::vector<std::pair<int, int>>& pairs,
+                             Rng& rng, util::ThreadPool* pool, PathSystem& ps);
+
 /// alpha-sample over ALL ordered vertex pairs (quadratic; small graphs).
 PathSystem sample_path_system_all_pairs(const ObliviousRouting& routing,
                                         int alpha, Rng& rng,
@@ -140,6 +174,13 @@ PathSystem sample_path_system_with_cut(
     const ObliviousRouting& routing, int alpha,
     const std::vector<std::pair<int, int>>& pairs, Rng& rng,
     util::ThreadPool* pool = nullptr);
+
+/// Appending variant of sample_path_system_with_cut (see
+/// sample_path_system_into for the contract).
+void sample_path_system_with_cut_into(
+    const ObliviousRouting& routing, int alpha,
+    const std::vector<std::pair<int, int>>& pairs, Rng& rng,
+    util::ThreadPool* pool, PathSystem& ps);
 
 /// The support pairs of a demand (convenience for the samplers above).
 std::vector<std::pair<int, int>> support_pairs(const Demand& d);

@@ -47,22 +47,67 @@ std::vector<std::vector<Path>> gather_candidates(
 
 }  // namespace
 
-SemiObliviousSolution route_fractional(const Graph& g, const PathSystem& ps,
-                                       const Demand& d,
-                                       const MinCongestionOptions& options) {
-  auto commodities = d.commodities();
-  auto paths = gather_candidates(ps, commodities);
+void route_fractional_into(const Graph& g, const PathSystem& ps,
+                           const Demand& d,
+                           const MinCongestionOptions& options,
+                           RouteScratch& scratch, SemiObliviousSolution& out) {
+  d.commodities_into(out.commodities);
+  const std::size_t k = out.commodities.size();
+
+  // Candidate COPIES into the solution's reused nested buffers: resize +
+  // assign keep capacity at every nesting level, so under a stable demand
+  // shape this refill allocates nothing.
+  out.paths.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Commodity& c = out.commodities[j];
+    const auto& list = ps.paths(c.s, c.t);
+    assert((c.amount <= 0.0 || !list.empty()) &&
+           "path system does not cover the demand support");
+    out.paths[j].resize(list.size());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      out.paths[j][i].assign(list[i].begin(), list[i].end());
+    }
+  }
+
   // Graph-bound systems carry interned edge-id spans: the whole solve runs
   // on the flat representation with zero hashing. Unbound systems resolve
   // edges once through the legacy bridge. Both produce bit-identical
   // results (same candidates, same iteration order, same arithmetic).
-  auto result =
-      ps.flat_for(g)
-          ? min_congestion_over_paths(g, commodities,
-                                      flat_candidates(ps, commodities), options)
-          : min_congestion_over_paths(g, commodities, paths, options);
-  return assemble(g, std::move(commodities), std::move(paths),
-                  std::move(result));
+  if (ps.flat_for(g)) {
+    flat_candidates_into(ps, out.commodities, scratch.flat);
+    min_congestion_over_paths_into(g, out.commodities, scratch.flat, options,
+                                   scratch.mwu, scratch.result);
+  } else {
+    scratch.result =
+        min_congestion_over_paths(g, out.commodities, out.paths, options);
+  }
+
+  const CongestionResult& result = scratch.result;
+  out.weights.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    out.weights[j].assign(result.path_weights[j].begin(),
+                          result.path_weights[j].end());
+  }
+  out.edge_load.assign(result.edge_load.begin(), result.edge_load.end());
+  out.congestion = result.congestion;
+  out.lower_bound = result.lower_bound;
+  out.max_hops = 0;
+  for (std::size_t j = 0; j < out.paths.size(); ++j) {
+    for (std::size_t i = 0; i < out.paths[j].size(); ++i) {
+      if (out.weights[j][i] > 1e-12) {
+        out.max_hops = std::max(out.max_hops, hop_count(out.paths[j][i]));
+      }
+    }
+  }
+}
+
+SemiObliviousSolution route_fractional(const Graph& g, const PathSystem& ps,
+                                       const Demand& d,
+                                       const MinCongestionOptions& options) {
+  RouteScratch scratch;
+  SemiObliviousSolution out;
+  route_fractional_into(g, ps, d, options, scratch, out);
+  return out;
 }
 
 SemiObliviousSolution route_fractional_exact(const Graph& g,
@@ -76,12 +121,15 @@ SemiObliviousSolution route_fractional_exact(const Graph& g,
 }
 
 OptimalCongestion optimal_congestion(const Graph& g, const Demand& d,
-                                     const MinCongestionOptions& options) {
+                                     const MinCongestionOptions& options,
+                                     OptimumScratch& scratch) {
   OptimalCongestion opt;
   if (d.empty()) return opt;
-  const auto result = min_congestion_free(g, d.commodities(), options);
-  opt.upper = result.congestion;
-  opt.lower = result.lower_bound;
+  d.commodities_into(scratch.commodities);
+  min_congestion_free_into(g, scratch.commodities, options, scratch.mwu,
+                           scratch.result);
+  opt.upper = scratch.result.congestion;
+  opt.lower = scratch.result.lower_bound;
   // opt >= siz(d) / total capacity (Lemma 5.16 generalized to capacities):
   // every unit of demand crosses at least one edge.
   const double trivial = d.size() / g.total_capacity();
@@ -90,15 +138,23 @@ OptimalCongestion optimal_congestion(const Graph& g, const Demand& d,
   return opt;
 }
 
+OptimalCongestion optimal_congestion(const Graph& g, const Demand& d,
+                                     const MinCongestionOptions& options) {
+  OptimumScratch scratch;
+  return optimal_congestion(g, d, options, scratch);
+}
+
 double competitive_ratio(const SemiObliviousSolution& solution,
                          const OptimalCongestion& opt) {
   assert(opt.value() > 0.0);
   return solution.congestion / opt.value();
 }
 
-double distance_lower_bound(const Graph& g, const Demand& d) {
+double distance_lower_bound(const Graph& g, const Demand& d,
+                            DistanceBoundScratch& scratch) {
   if (d.empty()) return 0.0;
-  std::vector<double> lengths(static_cast<std::size_t>(g.num_edges()));
+  auto& lengths = scratch.lengths;
+  lengths.resize(static_cast<std::size_t>(g.num_edges()));
   double denominator = 0.0;
   for (int e = 0; e < g.num_edges(); ++e) {
     lengths[static_cast<std::size_t>(e)] = 1.0 / g.edge(e).capacity;
@@ -108,16 +164,21 @@ double distance_lower_bound(const Graph& g, const Demand& d) {
   // (identical output to the allocating overload; see DijkstraScratch).
   double numerator = 0.0;
   int current_source = -1;
-  std::vector<double> dist(static_cast<std::size_t>(g.num_vertices()), 0.0);
-  DijkstraScratch scratch;
+  auto& dist = scratch.dist;
+  dist.assign(static_cast<std::size_t>(g.num_vertices()), 0.0);
   for (const auto& [pair, value] : d.entries()) {
     if (pair.first != current_source) {
       current_source = pair.first;
-      dijkstra_into(g, current_source, lengths, dist, {}, scratch);
+      dijkstra_into(g, current_source, lengths, dist, {}, scratch.dijkstra);
     }
     numerator += value * dist[static_cast<std::size_t>(pair.second)];
   }
   return numerator / denominator;
+}
+
+double distance_lower_bound(const Graph& g, const Demand& d) {
+  DistanceBoundScratch scratch;
+  return distance_lower_bound(g, d, scratch);
 }
 
 }  // namespace sor

@@ -30,6 +30,25 @@ SemiObliviousSolution route_fractional(const Graph& g, const PathSystem& ps,
                                        const Demand& d,
                                        const MinCongestionOptions& options = {});
 
+/// Reusable scratch for route_fractional_into: the flat candidate gather,
+/// the MWU solver's working set, and the solver result staging buffer. All
+/// capacity-retaining — repeated routes of stable shape through one scratch
+/// allocate nothing.
+struct RouteScratch {
+  FlatCandidates flat;
+  MinCongestionScratch mwu;
+  CongestionResult result;
+};
+
+/// Scratch-threaded route: refills `out`'s (nested) buffers in place with
+/// exactly what route_fractional would return — bit-identical fields, and
+/// route_fractional is a thin wrapper over this — while every intermediate
+/// lives in `scratch`.
+void route_fractional_into(const Graph& g, const PathSystem& ps,
+                           const Demand& d,
+                           const MinCongestionOptions& options,
+                           RouteScratch& scratch, SemiObliviousSolution& out);
+
 /// Exact LP variant (small instances; used for validation).
 SemiObliviousSolution route_fractional_exact(const Graph& g,
                                              const PathSystem& ps,
@@ -52,11 +71,35 @@ struct OptimalCongestion {
 OptimalCongestion optimal_congestion(const Graph& g, const Demand& d,
                                      const MinCongestionOptions& options = {});
 
+/// Reusable scratch for the optimum solve (free-path MWU working set).
+struct OptimumScratch {
+  std::vector<Commodity> commodities;
+  MinCongestionScratch mwu;
+  CongestionResult result;
+};
+
+/// Scratch-threaded optimum; identical result to the overload above.
+OptimalCongestion optimal_congestion(const Graph& g, const Demand& d,
+                                     const MinCongestionOptions& options,
+                                     OptimumScratch& scratch);
+
 /// Cheap distance-duality lower bound on opt_{G,R}(d) (no iteration):
 /// opt >= sum_j d_j * dist_w(s_j, t_j) / sum_e cap_e w_e with w_e = 1/cap_e.
 /// On unit capacities this is (sum_j d_j * hopdist(s_j,t_j)) / m. Used by
 /// the large-scale benches where the MWU optimum would dominate runtime.
 double distance_lower_bound(const Graph& g, const Demand& d);
+
+/// Reusable scratch for distance_lower_bound (lengths, one Dijkstra row,
+/// and the heap).
+struct DistanceBoundScratch {
+  std::vector<double> lengths;
+  std::vector<double> dist;
+  DijkstraScratch dijkstra;
+};
+
+/// Scratch-threaded distance bound; identical result to the overload above.
+double distance_lower_bound(const Graph& g, const Demand& d,
+                            DistanceBoundScratch& scratch);
 
 /// Competitive ratio of a semi-oblivious solution against the offline
 /// optimum (uses the optimum's lower certificate, so the reported ratio is

@@ -17,7 +17,12 @@ double congestion_of_weights(const Graph& g,
                              std::vector<double>* edge_load) {
   assert(candidates.num_commodities() == commodities.size());
   assert(weights.size() == commodities.size());
-  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  // Accumulate straight into the caller's vector when given one (assign
+  // keeps its capacity; same accumulation order, identical values) so the
+  // warm serving path never materializes a local load vector.
+  std::vector<double> local;
+  std::vector<double>& load = edge_load ? *edge_load : local;
+  load.assign(static_cast<std::size_t>(g.num_edges()), 0.0);
   for (std::size_t j = 0; j < commodities.size(); ++j) {
     assert(weights[j].size() == candidates.num_paths(j));
     for (std::size_t i = 0; i < weights[j].size(); ++i) {
@@ -32,7 +37,6 @@ double congestion_of_weights(const Graph& g,
     congestion = std::max(congestion,
                           load[static_cast<std::size_t>(e)] / g.edge(e).capacity);
   }
-  if (edge_load) *edge_load = std::move(load);
   return congestion;
 }
 
@@ -82,31 +86,40 @@ double congestion_of_weights(const Graph& g,
 // the exact arithmetic; only the total's summation association changes (the
 // documented epsilon contract in MinCongestionOptions), and the round cost
 // becomes proportional to the candidate footprint instead of to m.
-CongestionResult min_congestion_over_paths(
-    const Graph& g, const std::vector<Commodity>& commodities,
-    const FlatCandidates& candidates, const MinCongestionOptions& options) {
+void min_congestion_over_paths_into(const Graph& g,
+                                    const std::vector<Commodity>& commodities,
+                                    const FlatCandidates& candidates,
+                                    const MinCongestionOptions& options,
+                                    MinCongestionScratch& sc,
+                                    CongestionResult& out) {
   assert(candidates.num_commodities() == commodities.size());
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
   const std::size_t k = commodities.size();
 
-  CongestionResult result;
-  result.edge_load.assign(m, 0.0);
+  out.edge_load.assign(m, 0.0);
+  out.congestion = 0.0;
+  out.lower_bound = 0.0;
+  out.rounds_used = 0;
+  out.path_weights.resize(k);
   if (k == 0 || m == 0) {
-    result.path_weights.assign(k, {});
     for (std::size_t j = 0; j < k; ++j) {
-      result.path_weights[j].assign(candidates.num_paths(j), 0.0);
+      out.path_weights[j].assign(candidates.num_paths(j), 0.0);
     }
-    return result;
+    return;
   }
 
   // ---- dedup into a tight scan arena -------------------------------------
   // scan_first: prefix over dedup'd paths into scan_arena;
   // commodity_scan_first: prefix over dedup'd path indices per commodity;
   // original_index: first original candidate index of each dedup'd path.
-  std::vector<int> scan_arena;
-  std::vector<std::int64_t> scan_first{0};
-  std::vector<std::int64_t> commodity_scan_first{0};
-  std::vector<std::int32_t> original_index;
+  auto& scan_arena = sc.scan_arena;
+  auto& scan_first = sc.scan_first;
+  auto& commodity_scan_first = sc.commodity_scan_first;
+  auto& original_index = sc.original_index;
+  scan_arena.clear();
+  scan_first.assign(1, 0);
+  commodity_scan_first.assign(1, 0);
+  original_index.clear();
   for (std::size_t j = 0; j < k; ++j) {
     const std::size_t num_paths = candidates.num_paths(j);
     assert(commodities[j].amount <= 0.0 || num_paths > 0);
@@ -132,18 +145,22 @@ CongestionResult min_congestion_over_paths(
     commodity_scan_first.push_back(
         static_cast<std::int64_t>(scan_first.size()) - 1);
   }
-  std::vector<int> counts(original_index.size(), 0);
+  auto& counts = sc.counts;
+  counts.assign(original_index.size(), 0);
 
   // Dense capacity array (the Edge structs are 3x wider than needed here)
   // and the distinct candidate edge set: the only edges whose lengths the
   // best response will ever read.
-  std::vector<double> cap(m);
+  auto& cap = sc.cap;
+  cap.resize(m);
   for (std::size_t e = 0; e < m; ++e) {
     cap[e] = g.edge(static_cast<int>(e)).capacity;
   }
-  std::vector<int> cand_edges;
+  auto& cand_edges = sc.cand_edges;
+  cand_edges.clear();
   {
-    std::vector<char> in_cand(m, 0);
+    auto& in_cand = sc.in_cand;
+    in_cand.assign(m, 0);
     for (int e : scan_arena) {
       if (!in_cand[static_cast<std::size_t>(e)]) {
         in_cand[static_cast<std::size_t>(e)] = 1;
@@ -152,19 +169,31 @@ CongestionResult min_congestion_over_paths(
     }
   }
 
-  // ---- MWU state ---------------------------------------------------------
-  std::vector<double> log_x(m, 0.0);
-  std::vector<double> expv(m, 0.0);  // cached exp(log_x[e] - max_log)
-  std::vector<double> lengths(m, 0.0);
-  std::vector<double> cumulative_load(m, 0.0);
-  std::vector<double> round_load(m, 0.0);
-  std::vector<std::span<const int>> chosen_edges(k);
-  std::vector<double> chosen_len(k, 0.0);
-  std::vector<int> touched;       // edges with round_load != 0 this round
-  std::vector<int> active;        // edges with log_x != 0 (ever touched)
-  std::vector<int> dirty;         // active edges whose cached exp is stale
-  std::vector<char> is_active(m, 0);
-  std::vector<char> is_dirty(m, 0);
+  // ---- MWU state (scratch-backed; assign/clear keep capacity) ------------
+  auto& log_x = sc.log_x;
+  auto& expv = sc.expv;
+  auto& lengths = sc.lengths;
+  auto& cumulative_load = sc.cumulative_load;
+  auto& round_load = sc.round_load;
+  auto& chosen_edges = sc.chosen_edges;
+  auto& chosen_len = sc.chosen_len;
+  auto& touched = sc.touched;
+  auto& active = sc.active;
+  auto& dirty = sc.dirty;
+  auto& is_active = sc.is_active;
+  auto& is_dirty = sc.is_dirty;
+  log_x.assign(m, 0.0);
+  expv.assign(m, 0.0);  // cached exp(log_x[e] - max_log)
+  lengths.assign(m, 0.0);
+  cumulative_load.assign(m, 0.0);
+  round_load.assign(m, 0.0);
+  chosen_edges.assign(k, std::span<const int>{});
+  chosen_len.assign(k, 0.0);
+  touched.clear();  // edges with round_load != 0 this round
+  active.clear();   // edges with log_x != 0 (ever touched)
+  dirty.clear();    // active edges whose cached exp is stale
+  is_active.assign(m, 0);
+  is_dirty.assign(m, 0);
   touched.reserve(m);
   double max_log = 0.0;           // max over all-zero log_x
   double cached_max_log = std::numeric_limits<double>::quiet_NaN();
@@ -398,33 +427,40 @@ CongestionResult min_congestion_over_paths(
   const double rounds_used = static_cast<double>(std::max(round, 1));
   double congestion = 0.0;
   for (std::size_t e = 0; e < m; ++e) {
-    result.edge_load[e] = cumulative_load[e] / rounds_used;
-    congestion = std::max(congestion, result.edge_load[e] / cap[e]);
+    out.edge_load[e] = cumulative_load[e] / rounds_used;
+    congestion = std::max(congestion, out.edge_load[e] / cap[e]);
   }
-  result.congestion = congestion;
-  result.lower_bound = best_lower;
-  result.rounds_used = round;
+  out.congestion = congestion;
+  out.lower_bound = best_lower;
+  out.rounds_used = round;
 
   // Convert choice counts into fractional weights over the ORIGINAL
   // candidate indexing (duplicates keep their reference weight: 0), then
   // recompute the exact congestion of those weights.
-  result.path_weights.assign(k, {});
-  int total_rounds = std::max(result.rounds_used, 1);
+  int total_rounds = std::max(out.rounds_used, 1);
   for (std::size_t j = 0; j < k; ++j) {
-    result.path_weights[j].assign(candidates.num_paths(j), 0.0);
+    out.path_weights[j].assign(candidates.num_paths(j), 0.0);
     if (commodities[j].amount <= 0.0) continue;
     const std::size_t begin = static_cast<std::size_t>(commodity_scan_first[j]);
     const std::size_t end =
         static_cast<std::size_t>(commodity_scan_first[j + 1]);
     for (std::size_t d = begin; d < end; ++d) {
-      result.path_weights[j][static_cast<std::size_t>(original_index[d])] =
+      out.path_weights[j][static_cast<std::size_t>(original_index[d])] =
           commodities[j].amount * static_cast<double>(counts[d]) /
           static_cast<double>(total_rounds);
     }
   }
-  result.congestion = congestion_of_weights(g, commodities, candidates,
-                                            result.path_weights,
-                                            &result.edge_load);
+  out.congestion = congestion_of_weights(g, commodities, candidates,
+                                         out.path_weights, &out.edge_load);
+}
+
+CongestionResult min_congestion_over_paths(
+    const Graph& g, const std::vector<Commodity>& commodities,
+    const FlatCandidates& candidates, const MinCongestionOptions& options) {
+  MinCongestionScratch scratch;
+  CongestionResult result;
+  min_congestion_over_paths_into(g, commodities, candidates, options, scratch,
+                                 result);
   return result;
 }
 
@@ -468,81 +504,136 @@ CongestionResult min_congestion_over_paths(
 // accumulator sum (each lane a left-to-right chain; lanes combined
 // pairwise). Same epsilon contract as the restricted solver: per-edge
 // values exact, only the total's association changes.
-CongestionResult min_congestion_free(const Graph& g,
-                                     const std::vector<Commodity>& commodities,
-                                     const MinCongestionOptions& options) {
+void min_congestion_free_into(const Graph& g,
+                              const std::vector<Commodity>& commodities,
+                              const MinCongestionOptions& options,
+                              MinCongestionScratch& sc, CongestionResult& out) {
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   const std::size_t k = commodities.size();
-  CongestionResult result;
-  result.edge_load.assign(m, 0.0);
-  if (k == 0 || m == 0) {
-    result.congestion = 0.0;
-    result.lower_bound = 0.0;
-    return result;
-  }
+  out.path_weights.clear();  // free mode: no per-path weights
+  out.edge_load.assign(m, 0.0);
+  out.congestion = 0.0;
+  out.lower_bound = 0.0;
+  out.rounds_used = 0;
+  if (k == 0 || m == 0) return;
 
-  std::vector<double> cap(m);
+  auto& cap = sc.cap;
+  cap.resize(m);
   for (std::size_t e = 0; e < m; ++e) {
     cap[e] = g.edge(static_cast<int>(e)).capacity;
   }
 
-  // Group commodities by source once (hoisted out of the round loop; the
-  // reference rebuilt this identical grouping per round).
-  std::vector<std::vector<std::size_t>> by_source(n);
+  // Group commodities by source once, as a stable counting sort into two
+  // flat scratch arrays: sources ascend and commodity order within a
+  // source is input order, exactly the vector-of-vectors grouping the
+  // reference builds (hoisted out of the round loop there too) without its
+  // per-source node allocations.
+  auto& source_first = sc.source_first;
+  auto& by_source = sc.by_source;
+  source_first.assign(n + 2, 0);
+  std::size_t active_commodities = 0;
   for (std::size_t j = 0; j < k; ++j) {
     if (commodities[j].amount > 0.0) {
-      by_source[static_cast<std::size_t>(commodities[j].s)].push_back(j);
+      ++source_first[static_cast<std::size_t>(commodities[j].s) + 2];
+      ++active_commodities;
     }
   }
-  std::vector<int> sources;
+  for (std::size_t s = 2; s < source_first.size(); ++s) {
+    source_first[s] += source_first[s - 1];
+  }
+  by_source.resize(active_commodities);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (commodities[j].amount > 0.0) {
+      by_source[source_first[static_cast<std::size_t>(commodities[j].s) + 1]++] =
+          j;
+    }
+  }
+  // After the cursor fill, source s's commodities occupy
+  // by_source[source_first[s] .. source_first[s + 1]).
+  const auto group = [&](int s) {
+    return std::span<const std::size_t>(
+        by_source.data() + source_first[static_cast<std::size_t>(s)],
+        source_first[static_cast<std::size_t>(s) + 1] -
+            source_first[static_cast<std::size_t>(s)]);
+  };
+  auto& sources = sc.sources;
+  sources.clear();
   for (std::size_t s = 0; s < n; ++s) {
-    if (!by_source[s].empty()) sources.push_back(static_cast<int>(s));
+    if (source_first[s + 1] > source_first[s]) {
+      sources.push_back(static_cast<int>(s));
+    }
   }
 
   // Per-source distinct-target counts for the early-exit Dijkstra (the
   // is_target mask itself is set/cleared per (round, source)).
-  std::vector<char> is_target(n, 0);
-  std::vector<int> distinct_targets(sources.size(), 0);
+  auto& is_target = sc.is_target;
+  auto& distinct_targets = sc.distinct_targets;
+  is_target.assign(n, 0);
+  distinct_targets.assign(sources.size(), 0);
   for (std::size_t si = 0; si < sources.size(); ++si) {
     int count = 0;
-    for (std::size_t j : by_source[static_cast<std::size_t>(sources[si])]) {
+    for (std::size_t j : group(sources[si])) {
       const std::size_t t = static_cast<std::size_t>(commodities[j].t);
       if (!is_target[t]) {
         is_target[t] = 1;
         ++count;
       }
     }
-    for (std::size_t j : by_source[static_cast<std::size_t>(sources[si])]) {
+    for (std::size_t j : group(sources[si])) {
       is_target[static_cast<std::size_t>(commodities[j].t)] = 0;
     }
     distinct_targets[si] = count;
   }
 
-  // ---- MWU state ---------------------------------------------------------
-  std::vector<double> log_x(m, 0.0);
-  std::vector<double> expv(m, 0.0);  // cached exp(log_x[e] - max_log)
-  std::vector<double> lengths(m, 0.0);
-  std::vector<double> cumulative_load(m, 0.0);
-  std::vector<double> round_load(m, 0.0);
-  std::vector<std::vector<int>> owned(k);  // chosen edge ids per commodity
-  std::vector<double> chosen_len(k, 0.0);
-  std::vector<int> touched;       // edges with round_load != 0 this round
-  std::vector<int> active;        // edges with log_x != 0 (ever touched)
-  std::vector<int> dirty;         // active edges whose cached exp is stale
-  std::vector<char> is_active(m, 0);
-  std::vector<char> is_dirty(m, 0);
+  // ---- MWU state (scratch-backed; assign/clear keep capacity) ------------
+  auto& log_x = sc.log_x;
+  auto& expv = sc.expv;
+  auto& lengths = sc.lengths;
+  auto& cumulative_load = sc.cumulative_load;
+  auto& round_load = sc.round_load;
+  auto& owned = sc.owned;  // chosen edge ids per commodity
+  auto& chosen_len = sc.chosen_len;
+  auto& touched = sc.touched;
+  auto& active = sc.active;
+  auto& dirty = sc.dirty;
+  auto& is_active = sc.is_active;
+  auto& is_dirty = sc.is_dirty;
+  log_x.assign(m, 0.0);
+  expv.assign(m, 0.0);  // cached exp(log_x[e] - max_log)
+  lengths.assign(m, 0.0);
+  cumulative_load.assign(m, 0.0);
+  round_load.assign(m, 0.0);
+  owned.resize(k);  // stale contents are cleared first round
+  chosen_len.assign(k, 0.0);
+  touched.clear();  // edges with round_load != 0 this round
+  active.clear();   // edges with log_x != 0 (ever touched)
+  dirty.clear();    // active edges whose cached exp is stale
+  is_active.assign(m, 0);
+  is_dirty.assign(m, 0);
   touched.reserve(m);
   double max_log = 0.0;           // max over all-zero log_x
   double cached_max_log = std::numeric_limits<double>::quiet_NaN();
 
   // Dijkstra scratch, reused across every (source, round), and the flat
-  // CSR adjacency snapshot the relaxation scans run on (built once; arc
-  // order identical to Graph::incident, outputs bit-identical).
-  std::vector<double> dist(n, 0.0);
-  std::vector<int> parent_edge(n, -1);
-  DijkstraScratch heap_scratch;
-  const FlatAdjacency adj(g);
+  // CSR adjacency snapshot the relaxation scans run on. The snapshot is
+  // cached in the scratch across CALLS on the same graph (see
+  // MinCongestionScratch::adj: arcs depend on incidence only, so the
+  // scenario layer's capacity-only mutations keep it valid); arc order is
+  // identical to Graph::incident, outputs bit-identical.
+  auto& dist = sc.dist;
+  auto& parent_edge = sc.parent_edge;
+  dist.assign(n, 0.0);
+  parent_edge.assign(n, -1);
+  DijkstraScratch& heap_scratch = sc.dijkstra;
+  if (sc.adj_graph != &g || sc.adj_vertices != g.num_vertices() ||
+      sc.adj_edges != g.num_edges()) {
+    sc.adj.emplace(g);
+    sc.adj_graph = &g;
+    sc.adj_vertices = g.num_vertices();
+    sc.adj_edges = g.num_edges();
+  }
+  const FlatAdjacency& adj = *sc.adj;
 
   const double eta =
       std::sqrt(std::log(static_cast<double>(m) + 2.0) /
@@ -608,18 +699,18 @@ CongestionResult min_congestion_free(const Graph& g,
     for (std::size_t si = 0; si < sources.size(); ++si) {
       const int s = sources[si];
       if (lengths_positive) {
-        for (std::size_t j : by_source[static_cast<std::size_t>(s)]) {
+        for (std::size_t j : group(s)) {
           is_target[static_cast<std::size_t>(commodities[j].t)] = 1;
         }
         dijkstra_into_targets(adj, s, lengths, dist, parent_edge, heap_scratch,
                               is_target, distinct_targets[si]);
-        for (std::size_t j : by_source[static_cast<std::size_t>(s)]) {
+        for (std::size_t j : group(s)) {
           is_target[static_cast<std::size_t>(commodities[j].t)] = 0;
         }
       } else {
         dijkstra_into(g, s, lengths, dist, parent_edge, heap_scratch);
       }
-      for (std::size_t j : by_source[static_cast<std::size_t>(s)]) {
+      for (std::size_t j : group(s)) {
         const int t = commodities[j].t;
         assert(dist[static_cast<std::size_t>(t)] !=
                std::numeric_limits<double>::infinity());
@@ -698,12 +789,20 @@ CongestionResult min_congestion_free(const Graph& g,
   const double rounds_used = static_cast<double>(std::max(round, 1));
   double congestion = 0.0;
   for (std::size_t e = 0; e < m; ++e) {
-    result.edge_load[e] = cumulative_load[e] / rounds_used;
-    congestion = std::max(congestion, result.edge_load[e] / cap[e]);
+    out.edge_load[e] = cumulative_load[e] / rounds_used;
+    congestion = std::max(congestion, out.edge_load[e] / cap[e]);
   }
-  result.congestion = congestion;
-  result.lower_bound = best_lower;
-  result.rounds_used = round;
+  out.congestion = congestion;
+  out.lower_bound = best_lower;
+  out.rounds_used = round;
+}
+
+CongestionResult min_congestion_free(const Graph& g,
+                                     const std::vector<Commodity>& commodities,
+                                     const MinCongestionOptions& options) {
+  MinCongestionScratch scratch;
+  CongestionResult result;
+  min_congestion_free_into(g, commodities, options, scratch, result);
   return result;
 }
 

@@ -18,10 +18,14 @@
 // and used by the tests to validate the MWU engine.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "core/path_store.h"
 #include "graph/graph.h"
+#include "graph/shortest_path.h"
 #include "lp/simplex.h"
 
 namespace sor {
@@ -80,6 +84,55 @@ struct CongestionResult {
   int rounds_used = 0;
 };
 
+/// Reusable scratch for the two MWU solvers below. Every vector a solve
+/// needs lives here and is reset with clear()/assign() (capacity retained),
+/// so a warm scratch makes repeated solves of stable shape allocation-free —
+/// the steady-state serving contract the runtime layer gates. Contents
+/// never influence results: a solve through a warm scratch is bit-identical
+/// to one through a fresh scratch (pinned by tests/test_runtime.cpp).
+struct MinCongestionScratch {
+  // Restricted solver: dedup'd candidate scan arena.
+  std::vector<int> scan_arena;
+  std::vector<std::int64_t> scan_first;
+  std::vector<std::int64_t> commodity_scan_first;
+  std::vector<std::int32_t> original_index;
+  std::vector<int> counts;
+  std::vector<int> cand_edges;
+  std::vector<char> in_cand;
+  std::vector<std::span<const int>> chosen_edges;
+  // Shared MWU state.
+  std::vector<double> cap;
+  std::vector<double> log_x;
+  std::vector<double> expv;
+  std::vector<double> lengths;
+  std::vector<double> cumulative_load;
+  std::vector<double> round_load;
+  std::vector<double> chosen_len;
+  std::vector<int> touched;
+  std::vector<int> active;
+  std::vector<int> dirty;
+  std::vector<char> is_active;
+  std::vector<char> is_dirty;
+  // Free solver: counting-sorted source grouping + Dijkstra state.
+  std::vector<std::size_t> source_first;  // n + 2 prefix/cursor array
+  std::vector<std::size_t> by_source;     // commodity indices, source-major
+  std::vector<int> sources;
+  std::vector<int> distinct_targets;
+  std::vector<char> is_target;
+  std::vector<std::vector<int>> owned;
+  std::vector<double> dist;
+  std::vector<int> parent_edge;
+  DijkstraScratch dijkstra;
+  // CSR snapshot cache, keyed on graph identity + shape. Arcs depend only
+  // on the incidence structure, never on capacities, so the snapshot stays
+  // valid across Graph::set_edge_capacity (the only mutation the scenario
+  // layer performs on a served graph).
+  std::optional<FlatAdjacency> adj;
+  const Graph* adj_graph = nullptr;
+  int adj_vertices = 0;
+  int adj_edges = 0;
+};
+
 /// Fractional min-congestion routing of `commodities` where commodity j may
 /// only use `candidate_paths[j]`. Each candidate must be a valid s_j-t_j
 /// path; every commodity with amount > 0 needs >= 1 candidate.
@@ -98,6 +151,17 @@ CongestionResult min_congestion_over_paths(
     const FlatCandidates& candidates,
     const MinCongestionOptions& options = {});
 
+/// Scratch-threaded form of the flat restricted solve: all working state
+/// lives in `scratch`, the result is written into `out` (both reused across
+/// calls, capacities retained). Bit-identical to the value-returning
+/// overload, which is now a thin wrapper over this.
+void min_congestion_over_paths_into(const Graph& g,
+                                    const std::vector<Commodity>& commodities,
+                                    const FlatCandidates& candidates,
+                                    const MinCongestionOptions& options,
+                                    MinCongestionScratch& scratch,
+                                    CongestionResult& out);
+
 /// Fractional min-congestion over ALL paths (the offline optimum, i.e. the
 /// maximum-concurrent-flow LP). Only congestion/lower_bound/edge_load are
 /// populated. Runs on the flat substrate: scratch-reusing Dijkstra best
@@ -107,6 +171,15 @@ CongestionResult min_congestion_over_paths(
 CongestionResult min_congestion_free(
     const Graph& g, const std::vector<Commodity>& commodities,
     const MinCongestionOptions& options = {});
+
+/// Scratch-threaded form of the free solve (see
+/// min_congestion_over_paths_into for the contract). Also caches the CSR
+/// adjacency snapshot in the scratch across calls on the same graph.
+void min_congestion_free_into(const Graph& g,
+                              const std::vector<Commodity>& commodities,
+                              const MinCongestionOptions& options,
+                              MinCongestionScratch& scratch,
+                              CongestionResult& out);
 
 /// Exact LP (dense simplex) version of min_congestion_over_paths. Intended
 /// for small instances; returns optimal congestion and weights.
@@ -126,7 +199,9 @@ double congestion_of_weights(const Graph& g,
                              const std::vector<std::vector<double>>& weights,
                              std::vector<double>* edge_load = nullptr);
 
-/// Flat-representation variant (no hashing; bit-identical result).
+/// Flat-representation variant (no hashing; bit-identical result). A
+/// non-null `edge_load` is written IN PLACE (assign + accumulate, capacity
+/// retained) — allocation-free once the caller's vector is warm.
 double congestion_of_weights(const Graph& g,
                              const std::vector<Commodity>& commodities,
                              const FlatCandidates& candidates,

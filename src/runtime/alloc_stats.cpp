@@ -1,0 +1,202 @@
+#include "runtime/alloc_stats.h"
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace sor::runtime {
+namespace {
+
+// Plain thread-local PODs (zero-initialized, no dynamic init) so the
+// counting hooks are safe to run arbitrarily early, including from static
+// constructors that allocate before main().
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_frees = 0;
+thread_local std::uint64_t t_alloc_bytes = 0;
+
+}  // namespace
+
+bool counting_compiled() {
+#ifdef SOR_ALLOC_STATS
+  return true;
+#else
+  return false;
+#endif
+}
+
+AllocCounters thread_counters() { return {t_allocs, t_frees, t_alloc_bytes}; }
+
+std::size_t rss_bytes() {
+#if defined(__linux__)
+  // statm: "size resident shared text lib data dt" in pages. Raw
+  // open/read/close into stack storage (fopen would heap-allocate the FILE
+  // and show up in the very counters a probe is reading around this call).
+  char buf[128];
+  const int fd = ::open("/proc/self/statm", O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return 0;
+  const ::ssize_t got = ::read(fd, buf, sizeof(buf) - 1);
+  ::close(fd);
+  if (got <= 0) return 0;
+  buf[got] = '\0';
+  const char* p = buf;
+  while (*p && *p != ' ') ++p;  // skip total size field
+  const unsigned long long pages = std::strtoull(p, nullptr, 10);
+  return static_cast<std::size_t>(pages) *
+         static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+namespace detail {
+
+// Called by the replacement operators below; kept out-of-line and in this
+// TU so the interposition object is pulled into any binary that references
+// ANY alloc_stats symbol (static-archive semantics: using AllocProbe links
+// the counters in, and with them the operator replacements).
+void note_alloc(std::size_t bytes) {
+  ++t_allocs;
+  t_alloc_bytes += bytes;
+}
+
+void note_free() { ++t_frees; }
+
+}  // namespace detail
+
+}  // namespace sor::runtime
+
+#ifdef SOR_ALLOC_STATS
+
+// Global operator new/delete replacement ([new.delete.single] — legal for
+// the program to provide). Every form funnels through malloc/free exactly
+// like the defaults, plus one thread-local counter bump. Sanitizer builds
+// compile this out (CMake forces SOR_ALLOC_STATS off) so ASan/TSan keep
+// their own allocator interceptors.
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  sor::runtime::detail::note_alloc(size);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  sor::runtime::detail::note_alloc(size);
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + a - 1) / a * a;
+  return std::aligned_alloc(a, rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, align);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, align);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, align);
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, align);
+}
+
+void operator delete(void* p) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  sor::runtime::detail::note_free();
+  std::free(p);
+}
+
+#endif  // SOR_ALLOC_STATS

@@ -1,0 +1,64 @@
+// Allocation observability for the long-lived service runtime.
+//
+// The service-memory contract ("the steady-state epoch loop performs zero
+// heap allocations after warm-up", README: service memory model) is only
+// worth stating if it is MEASURED, so this header exposes a per-thread
+// allocation counter fed by an opt-in global operator new/delete
+// interposition (alloc_stats.cpp, compiled when the build defines
+// SOR_ALLOC_STATS — the default CMake configuration does; sanitizer builds
+// turn it off because ASan/TSan own the allocator there).
+//
+// Counters are THREAD-LOCAL: a probe reads only the calling thread's
+// activity, so a serial serving loop measures itself exactly even while
+// unrelated threads allocate. Counting is always on when compiled in — an
+// uncontended thread-local increment per new/delete is noise next to the
+// allocation itself — and `counting_compiled()` tells callers (tests, the
+// m7 bench) whether a zero-allocation assertion is meaningful in this
+// build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sor::runtime {
+
+/// Monotonic per-thread allocation totals since thread start.
+struct AllocCounters {
+  std::uint64_t allocs = 0;       ///< operator new calls
+  std::uint64_t frees = 0;        ///< operator delete calls
+  std::uint64_t alloc_bytes = 0;  ///< bytes requested through operator new
+
+  friend AllocCounters operator-(const AllocCounters& a,
+                                 const AllocCounters& b) {
+    return {a.allocs - b.allocs, a.frees - b.frees,
+            a.alloc_bytes - b.alloc_bytes};
+  }
+};
+
+/// True iff this build interposes operator new/delete (SOR_ALLOC_STATS).
+/// When false every counter below reads 0 and zero-alloc assertions are
+/// vacuous — callers should skip them, not celebrate.
+bool counting_compiled();
+
+/// The calling thread's running totals (all zero when not compiled in).
+AllocCounters thread_counters();
+
+/// Scoped delta probe over the calling thread's counters:
+///   AllocProbe probe;
+///   hot_loop();
+///   report.mem.allocs = probe.delta().allocs;
+class AllocProbe {
+ public:
+  AllocProbe() : start_(thread_counters()) {}
+  AllocCounters delta() const { return thread_counters() - start_; }
+
+ private:
+  AllocCounters start_;
+};
+
+/// Resident set size of the process in bytes (/proc/self/statm on Linux;
+/// 0 where unavailable). Reads into a stack buffer — no allocation — so it
+/// is safe to sample inside a measured region.
+std::size_t rss_bytes();
+
+}  // namespace sor::runtime

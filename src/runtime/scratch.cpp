@@ -1,0 +1,24 @@
+#include "runtime/scratch.h"
+
+namespace sor::runtime {
+
+ScratchPool::Lease ScratchPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      std::unique_ptr<EngineScratch> scratch = std::move(free_.back());
+      free_.pop_back();
+      return Lease(*this, std::move(scratch));
+    }
+  }
+  // Mint outside the lock: construction is the expensive path and only
+  // happens while the pool is still growing to its steady width.
+  return Lease(*this, std::make_unique<EngineScratch>());
+}
+
+void ScratchPool::put(std::unique_ptr<EngineScratch> scratch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(scratch));
+}
+
+}  // namespace sor::runtime

@@ -1,0 +1,91 @@
+// Engine-owned scratch for the steady-state serving loop.
+//
+// One EngineScratch aggregates every reusable working set a single
+// route_one call needs — the restricted-MWU route scratch, the free-MWU
+// optimum scratch, the distance-bound Dijkstra row, and the packet-path
+// staging arena. All of it is capacity-retaining (see the per-layer scratch
+// structs), so a warm EngineScratch makes the whole stage-3..5 pipeline
+// allocation-free under a stable demand shape — the measured contract
+// bench_m7_service_memory gates.
+//
+// ScratchPool is the concurrency story: route_batch fans demands out across
+// the engine's thread pool, and scratch contents must never be shared
+// mid-solve, so each route_one call leases a scratch from a mutex-guarded
+// free list (RAII; returned on lease destruction). WHICH scratch a call
+// gets is scheduling-dependent, but scratch contents never influence
+// results — every consumer resets its buffers with assign()/clear() before
+// reading them — so the nondeterministic borrowing is invisible in outputs
+// (route_batch's bit-identity across thread counts is pinned by
+// tests/test_route_batch.cpp and re-checked by tests/test_runtime.cpp).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/semi_oblivious.h"
+
+namespace sor::runtime {
+
+/// Everything one route_one call scratches on, pre-warmed across calls.
+struct EngineScratch {
+  RouteScratch route;            ///< restricted MWU + flat candidate gather
+  OptimumScratch optimum;        ///< free-path MWU (offline optimum oracle)
+  DistanceBoundScratch distance; ///< distance-duality lower bound
+  std::vector<Path> packet_paths;  ///< packet-simulation staging
+};
+
+/// Mutex-guarded free list of EngineScratch instances. acquire() pops a
+/// warm scratch (or mints a fresh one when the list is empty — at most once
+/// per concurrently-active route call, so a pool serving a route_batch
+/// settles at the pool's thread width); the lease returns it on
+/// destruction.
+class ScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease(ScratchPool& pool, std::unique_ptr<EngineScratch> scratch)
+        : pool_(&pool), scratch_(std::move(scratch)) {}
+    ~Lease() {
+      if (scratch_) pool_->put(std::move(scratch_));
+    }
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    EngineScratch& operator*() const { return *scratch_; }
+    EngineScratch* operator->() const { return scratch_.get(); }
+
+   private:
+    ScratchPool* pool_;
+    std::unique_ptr<EngineScratch> scratch_;
+  };
+
+  ScratchPool() = default;
+  // Movable so the owning engine stays movable. Only the free list moves —
+  // each pool keeps its own mutex — and moving is only legal while no
+  // lease is outstanding (exactly the engine's own move precondition: no
+  // in-flight route call).
+  ScratchPool(ScratchPool&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    free_ = std::move(other.free_);
+  }
+  ScratchPool& operator=(ScratchPool&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mutex_, other.mutex_);
+      free_ = std::move(other.free_);
+    }
+    return *this;
+  }
+
+  Lease acquire();
+
+ private:
+  void put(std::unique_ptr<EngineScratch> scratch);
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<EngineScratch>> free_;
+};
+
+}  // namespace sor::runtime

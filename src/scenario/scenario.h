@@ -144,6 +144,16 @@ struct EpochReport {
   double install_ms = 0.0;    ///< Stage 2 (+ Stage 1 if rebuilt); 0 = skipped
   double route_ms = 0.0;      ///< Stage 3
   double optimum_ms = 0.0;    ///< offline-optimum oracle
+  /// Heap allocations inside the epoch's route call (RouteReport::mem;
+  /// zero when the library is compiled without SOR_ALLOC_STATS, and zero
+  /// in steady state once the engine's scratch arenas are warm). Like the
+  /// wall-time fields, this is observability — machine-load dependent in
+  /// principle (scratch-pool borrowing) — so it is deliberately excluded
+  /// from the bit-identity comparisons in test_scenario / bench_m6.
+  std::uint64_t route_allocs = 0;
+  /// PathStore arena occupancy (ints) after this epoch's install/compact —
+  /// the flat-arena gauge bench_m7_service_memory charts across churn.
+  std::size_t arena_ints = 0;
 };
 
 struct ScenarioReport {

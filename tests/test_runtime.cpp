@@ -1,0 +1,357 @@
+// The service-runtime memory subsystem: PathStore in-place compaction/GC
+// (remapped refs must read bit-identically), the engine scratch arenas
+// (warm route calls perform zero heap allocations), the allocation
+// observability layer (alloc_stats counters), and the buffer-reusing
+// route_into / run_scenario paths against their allocating originals.
+#include "runtime/scratch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/sor_engine.h"
+#include "core/path_store.h"
+#include "core/path_system.h"
+#include "graph/generators.h"
+#include "oblivious/shortest_path_routing.h"
+#include "runtime/alloc_stats.h"
+#include "scenario/scenario.h"
+#include "util/rng.h"
+
+namespace sor {
+namespace {
+
+/// `count` valid random paths over g (random shortest-path draws between
+/// random distinct pairs) — fodder for intern/compact fuzzing.
+std::vector<Path> random_paths(const Graph& g, int count, Rng& rng) {
+  RandomShortestPathRouting routing(g);
+  std::vector<Path> paths;
+  paths.reserve(static_cast<std::size_t>(count));
+  const int n = g.num_vertices();
+  for (int i = 0; i < count; ++i) {
+    const int s = rng.uniform_int(0, n - 1);
+    int t = s;
+    while (t == s) t = rng.uniform_int(0, n - 1);
+    paths.push_back(routing.sample_path(s, t, rng));
+  }
+  return paths;
+}
+
+// ---- PathStore compaction ----------------------------------------------
+
+TEST(PathStoreCompact, RemappedRefsReadBitIdenticallyOnRandomGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE(seed);
+    Rng rng(seed);
+    const Graph g = gen::random_regular(24, 4, rng);
+    PathStore store(g);
+    const std::vector<Path> paths = random_paths(g, 200, rng);
+    std::vector<PathRef> refs;
+    for (const Path& p : paths) refs.push_back(store.intern(p));
+
+    // A random ~half of the refs survives, with duplicates thrown in.
+    std::vector<PathRef> live;
+    std::vector<std::size_t> live_idx;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      if (rng.bernoulli(0.5)) continue;
+      live.push_back(refs[i]);
+      live_idx.push_back(i);
+      if (rng.bernoulli(0.25)) live.push_back(refs[i]);  // duplicate
+    }
+    ASSERT_FALSE(live.empty());
+
+    const std::size_t size_before = store.arena_size();
+    const std::size_t capacity_before = store.arena_capacity();
+    const PathRemap remap = store.compact(live);
+
+    // In place: the arena shrank (or stayed) and never reallocated.
+    EXPECT_LE(store.arena_size(), size_before);
+    EXPECT_EQ(store.arena_capacity(), capacity_before);
+    std::vector<PathRef> unique_live = live;
+    std::sort(unique_live.begin(), unique_live.end(),
+              [](PathRef a, PathRef b) { return a.offset < b.offset; });
+    unique_live.erase(std::unique(unique_live.begin(), unique_live.end(),
+                                  [](PathRef a, PathRef b) {
+                                    return a.offset == b.offset;
+                                  }),
+                      unique_live.end());
+    EXPECT_EQ(store.num_paths(), unique_live.size());
+    EXPECT_EQ(remap.live_paths(), unique_live.size());
+
+    // Every surviving ref reads bit-identically through the remap:
+    // vertices, precomputed edge ids, and to_path all match the original.
+    for (std::size_t i = 0; i < live_idx.size(); ++i) {
+      const Path& original = paths[live_idx[i]];
+      const PathRef remapped = remap(refs[live_idx[i]]);
+      EXPECT_EQ(store.to_path(remapped), original);
+      const auto expected_edges = path_edge_ids(g, original);
+      const auto edges = store.edge_ids(remapped);
+      ASSERT_EQ(edges.size(), expected_edges.size());
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        EXPECT_EQ(edges[e], expected_edges[e]);
+      }
+    }
+  }
+}
+
+TEST(PathStoreCompact, FuzzedLiveSetsRoundTripAcrossRepeatedCycles) {
+  Rng rng(7);
+  const Graph g = gen::grid(5, 5, /*wrap=*/true);
+  PathStore store(g);
+  // Rolling live set: (ref, expected content) pairs that survived so far.
+  std::vector<std::pair<PathRef, Path>> alive;
+  std::size_t peak_capacity = 0;
+  for (int round = 0; round < 25; ++round) {
+    SCOPED_TRACE(round);
+    for (const Path& p : random_paths(g, 40, rng)) {
+      alive.emplace_back(store.intern(p), p);
+    }
+    // Keep a random subset; the per-round keep rate itself varies, so some
+    // rounds keep (almost) everything and some nearly nothing.
+    std::vector<std::pair<PathRef, Path>> kept;
+    const double keep_rate = rng.uniform_double();
+    for (const auto& entry : alive) {
+      if (rng.bernoulli(keep_rate)) kept.push_back(entry);
+    }
+    std::vector<PathRef> live;
+    for (const auto& [ref, path] : kept) live.push_back(ref);
+    const PathRemap remap = store.compact(live);
+    alive.clear();
+    for (const auto& [ref, path] : kept) {
+      const PathRef remapped = remap(ref);
+      ASSERT_EQ(store.to_path(remapped), path);
+      alive.emplace_back(remapped, path);
+    }
+    EXPECT_EQ(store.num_paths(), alive.size());
+    peak_capacity = std::max(peak_capacity, store.arena_capacity());
+  }
+  // Churn with GC settles: capacity is bounded by the peak working set,
+  // not by 25 rounds x 40 paths of appends.
+  EXPECT_EQ(store.arena_capacity(), peak_capacity);
+  EXPECT_LT(peak_capacity, 25u * 40u * 12u);
+}
+
+TEST(PathStoreCompact, ReinstallCycleKeepsPathSystemArenaFlat) {
+  Rng rng(11);
+  const Graph g = gen::grid(4, 4, /*wrap=*/true);
+  const std::vector<Path> batch = random_paths(g, 60, rng);
+  PathSystem ps(g);
+  std::size_t stable_size = 0, stable_capacity = 0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    SCOPED_TRACE(cycle);
+    ps.begin_reinstall();
+    for (const Path& p : batch) {
+      ps.add_path(p.front(), p.back(), p);
+    }
+    ps.compact_store();
+    if (cycle == 0) {
+      // Identical content each cycle -> identical live arena size.
+      stable_size = ps.store().arena_size();
+      continue;
+    }
+    EXPECT_EQ(ps.store().arena_size(), stable_size);
+    if (cycle == 1) {
+      // Capacity's steady state is cycle 1's high-water mark: during a
+      // reinstall the dying live set and the fresh sample coexist in the
+      // arena until compact_store() slides the survivors down, so the
+      // high water is ~2x the live size — and NEVER grows again.
+      stable_capacity = ps.store().arena_capacity();
+      continue;
+    }
+    EXPECT_EQ(ps.store().arena_capacity(), stable_capacity);
+  }
+}
+
+// ---- alloc_stats --------------------------------------------------------
+
+TEST(Runtime, AllocCountersObserveThisThreadsAllocations) {
+  if (!runtime::counting_compiled()) {
+    GTEST_SKIP() << "built without SOR_ALLOC_STATS";
+  }
+  runtime::AllocProbe probe;
+  {
+    std::vector<int> v(1024, 1);
+    ASSERT_EQ(v.back(), 1);
+  }
+  const runtime::AllocCounters d = probe.delta();
+  EXPECT_GE(d.allocs, 1u);
+  EXPECT_GE(d.frees, 1u);
+  EXPECT_GE(d.alloc_bytes, 1024u * sizeof(int));
+}
+
+TEST(Runtime, AllocCountersAreThreadLocal) {
+  if (!runtime::counting_compiled()) {
+    GTEST_SKIP() << "built without SOR_ALLOC_STATS";
+  }
+  runtime::AllocProbe probe;
+  std::thread worker([] {
+    std::vector<double> noise(4096, 0.5);
+    ASSERT_EQ(noise.size(), 4096u);
+  });
+  worker.join();
+  // The worker's churn is invisible to this thread's probe. (thread's own
+  // bookkeeping allocations happen on the spawning thread before the probe
+  // could see anything from the worker — assert only alloc symmetry.)
+  const runtime::AllocCounters d = probe.delta();
+  EXPECT_LT(d.alloc_bytes, 4096u * sizeof(double));
+}
+
+TEST(Runtime, RssGaugeReadsPositive) {
+  EXPECT_GT(runtime::rss_bytes(), 0u);
+}
+
+// ---- engine scratch arenas ---------------------------------------------
+
+SorEngine small_engine(int threads = 1) {
+  return SorEngine::build(gen::hypercube(4), "valiant", /*seed=*/5, threads);
+}
+
+TEST(Runtime, RouteIntoMatchesRouteBitForBit) {
+  SorEngine engine = small_engine();
+  Rng rng(3);
+  const Demand d = gen::random_permutation_demand(16, rng);
+  engine.install_paths(SamplingSpec::for_demand(d, 4));
+
+  const RouteReport a = engine.route(d);
+  RouteReport b;
+  engine.route_into(d, {}, b);
+  EXPECT_EQ(a.congestion, b.congestion);
+  EXPECT_EQ(a.competitive_ratio, b.competitive_ratio);
+  EXPECT_EQ(a.opt_lower_bound, b.opt_lower_bound);
+  ASSERT_TRUE(a.optimum && b.optimum);
+  EXPECT_EQ(a.optimum->lower, b.optimum->lower);
+  EXPECT_EQ(a.optimum->upper, b.optimum->upper);
+  EXPECT_EQ(a.solution.edge_load, b.solution.edge_load);
+  EXPECT_EQ(a.solution.weights, b.solution.weights);
+  EXPECT_EQ(a.solution.paths, b.solution.paths);
+  EXPECT_EQ(a.solution.max_hops, b.solution.max_hops);
+}
+
+TEST(Runtime, WarmRouteIntoIsAllocationFree) {
+  if (!runtime::counting_compiled()) {
+    GTEST_SKIP() << "built without SOR_ALLOC_STATS";
+  }
+  SorEngine engine = small_engine();
+  Rng rng(9);
+  const Demand d = gen::random_permutation_demand(16, rng);
+  engine.install_paths(SamplingSpec::for_demand(d, 4));
+
+  RouteReport report;
+  engine.route_into(d, {}, report);  // warm-up: arenas grow to fit
+  engine.route_into(d, {}, report);
+  EXPECT_EQ(report.mem.allocs, 0u);
+  EXPECT_EQ(report.mem.alloc_bytes, 0u);
+  // A different demand of the same shape stays warm too.
+  const Demand d2 = gen::random_permutation_demand(16, rng);
+  engine.install_paths(SamplingSpec::for_demands({&d2, 1}, 4));
+  engine.route_into(d2, {}, report);
+  engine.route_into(d2, {}, report);
+  EXPECT_EQ(report.mem.allocs, 0u);
+}
+
+TEST(Runtime, RouteBatchMatchesSerialRoutesThroughTheScratchPool) {
+  SorEngine engine = small_engine(/*threads=*/4);
+  Rng rng(17);
+  std::vector<Demand> demands;
+  for (int i = 0; i < 8; ++i) {
+    demands.push_back(gen::random_permutation_demand(16, rng));
+  }
+  engine.install_paths(SamplingSpec::for_demands(demands, 4));
+
+  // With rounding/simulation off, the batch equals a serial route() loop
+  // (api/sor_engine.h); the pool hands each call SOME warm scratch, and
+  // scratch contents must never leak into results.
+  const BatchReport batch = engine.route_batch(demands);
+  ASSERT_EQ(batch.reports.size(), demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    SCOPED_TRACE(i);
+    const RouteReport serial = engine.route(demands[i]);
+    EXPECT_EQ(batch.reports[i].congestion, serial.congestion);
+    EXPECT_EQ(batch.reports[i].solution.edge_load, serial.solution.edge_load);
+    EXPECT_EQ(batch.reports[i].solution.weights, serial.solution.weights);
+  }
+}
+
+TEST(Runtime, MemStatsReflectTheInstalledSystem) {
+  SorEngine engine = small_engine();
+  Rng rng(21);
+  const Demand d = gen::random_permutation_demand(16, rng);
+  engine.install_paths(SamplingSpec::for_demand(d, 4));
+  const SorEngine::MemStats ms = engine.mem_stats();
+  EXPECT_EQ(ms.live_paths, engine.paths().total_paths());
+  EXPECT_EQ(ms.installed_pairs, engine.paths().num_pairs());
+  EXPECT_GT(ms.arena_ints, 0u);
+  EXPECT_LE(ms.arena_ints, ms.arena_capacity);
+  EXPECT_GT(ms.rss_bytes, 0u);
+}
+
+// ---- the steady-state serving loop -------------------------------------
+
+scenario::ScenarioSpec steady_spec(int epochs) {
+  scenario::ScenarioSpec spec;
+  spec.name = "steady";
+  spec.topology = "torus";
+  spec.size = 5;
+  spec.backend = "racke:num_trees=4";
+  spec.seed = 13;
+  spec.epochs = epochs;
+  spec.mwu_rounds = 60;
+  spec.model = *scenario::TrafficModelSpec::parse(
+      "diurnal_gravity:total=32,amplitude=0.5,period=8,max_pairs=24");
+  spec.reinstall = *scenario::ReinstallPolicy::parse("never");
+  return spec;
+}
+
+TEST(Runtime, ScenarioSteadyStateRoutesWithZeroAllocations) {
+  if (!runtime::counting_compiled()) {
+    GTEST_SKIP() << "built without SOR_ALLOC_STATS";
+  }
+  const scenario::ScenarioSpec spec = steady_spec(/*epochs=*/1000);
+  SorEngine engine = scenario::build_scenario_engine(spec);
+  const scenario::ScenarioTrace trace =
+      scenario::generate_trace(engine.graph(), spec);
+  const scenario::ScenarioReport report =
+      scenario::run_scenario(engine, spec, trace);
+  ASSERT_EQ(report.epochs.size(), 1000u);
+  // Epoch 0 warms the arenas; every later epoch must route on the heap's
+  // steady state — zero allocations, flat path arena.
+  const std::size_t arena = report.epochs[0].arena_ints;
+  for (const scenario::EpochReport& row : report.epochs) {
+    SCOPED_TRACE(row.epoch);
+    EXPECT_EQ(row.coverage, 1.0);
+    EXPECT_EQ(row.arena_ints, arena);
+    if (row.epoch == 0) continue;
+    EXPECT_EQ(row.route_allocs, 0u);
+  }
+}
+
+TEST(Runtime, ScenarioReportsUnchangedByBufferReuse) {
+  // The reuse refactor (route_into + skip-filtered-copy) must be invisible
+  // in reported numbers: identical across thread counts AND across runs.
+  scenario::ScenarioSpec spec = steady_spec(/*epochs=*/10);
+  spec.reinstall = *scenario::ReinstallPolicy::parse("every_k:3");
+  std::vector<scenario::ScenarioReport> reports;
+  for (int threads : {1, 2}) {
+    SorEngine engine = scenario::build_scenario_engine(spec, threads);
+    const scenario::ScenarioTrace trace =
+        scenario::generate_trace(engine.graph(), spec);
+    reports.push_back(scenario::run_scenario(engine, spec, trace));
+  }
+  ASSERT_EQ(reports[0].epochs.size(), reports[1].epochs.size());
+  for (std::size_t i = 0; i < reports[0].epochs.size(); ++i) {
+    const scenario::EpochReport& x = reports[0].epochs[i];
+    const scenario::EpochReport& y = reports[1].epochs[i];
+    EXPECT_EQ(x.congestion, y.congestion);
+    EXPECT_EQ(x.ratio, y.ratio);
+    EXPECT_EQ(x.coverage, y.coverage);
+    EXPECT_EQ(x.routed, y.routed);
+    EXPECT_EQ(x.installed_paths, y.installed_paths);
+    EXPECT_EQ(x.arena_ints, y.arena_ints);
+  }
+}
+
+}  // namespace
+}  // namespace sor

@@ -21,7 +21,17 @@ Checks, in order:
   3. identity: no row anywhere may say identical=no — bit-identity (or,
      for fast-math rows, the documented epsilon contract) is a
      correctness gate, never a tolerance;
-  4. regression (only with --baseline): every gated row (numeric speedup)
+  4. memory (bench_m7 rows, where ms_per_op carries a VALUE, ops = 1):
+     --mem-zero PHASE requires >= 1 row whose value is exactly 0 with
+     identical=yes (an unmeasured contract — identical="-" from a build
+     without SOR_ALLOC_STATS — fails, not passes); --mem-flat
+     PHASE[:TOL[:SLACK]] requires, against --baseline, that every fresh
+     row of that phase has a baseline counterpart and vice versa (two-way,
+     same rename/drop discipline as the speedup gate) and that
+     fresh_value <= baseline_value * TOL + SLACK. TOL defaults to 1.0
+     (exact: arena peaks are deterministic per seed), SLACK to 0 (pass
+     e.g. 1.10:2.0 for the machine-dependent RSS row: 10% + 2 MB);
+  5. regression (only with --baseline): every gated row (numeric speedup)
      must match between fresh and baseline BOTH ways — a baseline row
      with no fresh counterpart (renamed/dropped phase or instance would
      otherwise silently lose its gate) and a fresh gated row with no
@@ -114,7 +124,32 @@ def main():
     parser.add_argument("--tolerance", type=float, default=1.25,
                         help="allowed fresh-vs-baseline speedup shrink "
                              "factor (1.25 = fail on >25%% regression)")
+    parser.add_argument("--mem-zero", action="append", default=[],
+                        help="memory phase whose every row must carry the "
+                             "value 0 with identical=yes (repeatable)")
+    parser.add_argument("--mem-flat", action="append", default=[],
+                        help="PHASE[:TOL[:SLACK]]: memory phase gated "
+                             "against --baseline as value <= "
+                             "baseline * TOL + SLACK (repeatable)")
     args = parser.parse_args()
+
+    mem_flat = []
+    for spec in args.mem_flat:
+        parts = spec.split(":")
+        try:
+            phase = parts[0]
+            tol = float(parts[1]) if len(parts) > 1 else 1.0
+            slack = float(parts[2]) if len(parts) > 2 else 0.0
+            if not phase or len(parts) > 3:
+                raise ValueError(spec)
+        except ValueError:
+            print(f"bench_gate: bad --mem-flat spec {spec!r} "
+                  "(want PHASE[:TOL[:SLACK]])")
+            return 2
+        mem_flat.append((phase, tol, slack))
+    if mem_flat and not args.baseline:
+        print("bench_gate: --mem-flat needs --baseline")
+        return 2
 
     try:
         fresh = normalize(args.fresh)
@@ -140,6 +175,23 @@ def main():
     for r in fresh:
         if r.get("identical") == "no":
             failures.append(f"output mismatch (identical=no): {key(r)}")
+
+    for phase in args.mem_zero:
+        rows = [r for r in fresh if r["phase"] == phase]
+        if not rows:
+            failures.append(f"no '{phase}' rows in {args.fresh}")
+            continue
+        for r in rows:
+            if numeric(r["ms_per_op"]) != 0:
+                failures.append(
+                    f"steady-state heap allocations "
+                    f"(value {r['ms_per_op']}): {key(r)}")
+            if r.get("identical") != "yes":
+                # "-" means the build could not measure (no SOR_ALLOC_STATS)
+                # — an unmeasured zero-alloc contract fails, not passes.
+                failures.append(
+                    f"memory contract unmeasured or failed "
+                    f"(identical={r.get('identical')!r}): {key(r)}")
 
     if args.baseline:
         try:
@@ -184,11 +236,45 @@ def main():
                 print(f"warning: absolute ms_per_op drift {key(r)}: "
                       f"{fresh_ms:.2f} vs baseline {base_ms:.2f} "
                       "(machine-dependent; informational only)")
-        if compared == 0:
+        mem_compared = 0
+        for phase, tol, slack in mem_flat:
+            fresh_rows = [r for r in fresh if r["phase"] == phase]
+            if not fresh_rows:
+                failures.append(f"no '{phase}' rows in {args.fresh}")
+            # Two-way matching, same rename/drop discipline as the speedup
+            # gate: a memory row vanishing on either side un-gates it.
+            for b in baseline:
+                if b["phase"] == phase and key(b) not in fresh_keys:
+                    failures.append(
+                        f"baseline memory row has no fresh counterpart "
+                        f"(renamed or dropped?): {key(b)}")
+            for r in fresh_rows:
+                b = base_by_key.get(key(r))
+                if b is None:
+                    failures.append(
+                        f"fresh memory row missing from baseline (new "
+                        f"instance? refresh bench/baselines/ in this PR): "
+                        f"{key(r)}")
+                    continue
+                fresh_v, base_v = numeric(r["ms_per_op"]), numeric(
+                    b["ms_per_op"])
+                if fresh_v is None or base_v is None:
+                    failures.append(f"non-numeric memory value: {key(r)}")
+                    continue
+                mem_compared += 1
+                ceiling = base_v * tol + slack
+                if fresh_v > ceiling:
+                    failures.append(
+                        f"memory growth: {key(r)} value {fresh_v:.3f} > "
+                        f"{ceiling:.3f} (baseline {base_v:.3f} * {tol} "
+                        f"+ {slack})")
+        if mem_compared:
+            print(f"{mem_compared} memory rows gated against baseline")
+        if compared == 0 and mem_compared == 0:
             failures.append(
                 f"baseline {args.baseline} shares no gated (speedup) rows "
                 f"with {args.fresh} — stale baseline?")
-        else:
+        elif compared:
             print(f"{compared} speedup rows gated against baseline "
                   f"(tolerance {args.tolerance})")
 
