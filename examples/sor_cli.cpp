@@ -28,9 +28,11 @@
 
 #include "api/sor_engine.h"
 #include "graph/generators.h"
+#include "io/demand_stream.h"
 #include "io/scenario_io.h"
 #include "io/serialization.h"
 #include "runtime/alloc_stats.h"
+#include "scale/demand_source.h"
 #include "scenario/scenario.h"
 #include "util/table.h"
 
@@ -50,6 +52,9 @@ struct Options {
   bool seed_set = false;  // --seed given: overrides a scenario file's seed
   int threads = 1;
   int batch = 1;
+  int shards = 1;           // engine replicas for scale-out batch routing
+  bool aggregate = false;   // coalesce duplicate demands pre-solve
+  std::string demands_file; // stream the batch from a demand-stream file
   bool integral = false;
   bool fast_math = false;
   bool mem_stats = false;  // print the service-memory gauges after the run
@@ -70,6 +75,7 @@ void usage() {
       "               [--size N] [--alpha A] "
       "[--demand permutation|bitreversal|gravity|pairs]\n"
       "               [--backend SPEC] [--seed S] [--threads N] [--batch B]\n"
+      "               [--demands-file FILE] [--shards K] [--aggregate]\n"
       "               [--integral] [--fast-math] [--mem-stats] [--dot FILE] "
       "[--list-backends]\n"
       "       sor_cli --scenario FILE | --scenario-preset NAME\n"
@@ -83,6 +89,15 @@ void usage() {
       "--threads N runs build/install/batch-route on N workers (0 = all\n"
       "cores) with results identical to --threads 1; --batch B routes B\n"
       "revealed demands concurrently over the one frozen PathSystem.\n"
+      "--demands-file FILE streams a demand batch from a text file (one\n"
+      "demand per line as \"s t value\" triples, '#' comments) through the\n"
+      "scale-out route_batch pipeline without materializing it; the file's\n"
+      "support is collected in a first pass to install paths. --shards K\n"
+      "partitions the batch across K engine replicas sharing the frozen\n"
+      "PathSystem; --aggregate coalesces content-identical demands into\n"
+      "weighted groups and keeps only aggregate results (memory stays flat\n"
+      "in the stream length). Both are bit-identical to the plain batch\n"
+      "for every K and thread count (see api/sor_engine.h).\n"
       "--fast-math opts the MWU solvers into the relaxed-bit-identity\n"
       "accumulator-sum mode (outputs within 5%% of exact, certificates\n"
       "stay valid; see MinCongestionOptions::fast_math). Off by default.\n"
@@ -185,6 +200,16 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
       const char* v = next("--batch");
       if (!v) return false;
       opt.batch = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      const char* v = next("--shards");
+      if (!v) return false;
+      opt.shards = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--aggregate")) {
+      opt.aggregate = true;
+    } else if (!std::strcmp(argv[i], "--demands-file")) {
+      const char* v = next("--demands-file");
+      if (!v) return false;
+      opt.demands_file = v;
     } else if (!std::strcmp(argv[i], "--integral")) {
       opt.integral = true;
     } else if (!std::strcmp(argv[i], "--fast-math")) {
@@ -215,6 +240,30 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
   }
   if (opt.threads < 0 || opt.batch < 1) {
     std::fprintf(stderr, "--threads must be >= 0 and --batch >= 1\n");
+    return false;
+  }
+  if (opt.shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return false;
+  }
+  if (!opt.demands_file.empty() && (opt.demand_set || opt.batch > 1)) {
+    std::fprintf(stderr,
+                 "--demands-file streams the whole batch from the file; "
+                 "--demand and --batch do not combine with it\n");
+    return false;
+  }
+  if (opt.aggregate && opt.integral) {
+    std::fprintf(stderr,
+                 "--aggregate cannot combine with --integral (coalesced "
+                 "demands lose their per-demand rounding streams; round a "
+                 "raw batch instead)\n");
+    return false;
+  }
+  if ((opt.shards > 1 || opt.aggregate) && opt.batch <= 1 &&
+      opt.demands_file.empty()) {
+    std::fprintf(stderr,
+                 "--shards/--aggregate need a batch: --batch B > 1 or "
+                 "--demands-file FILE\n");
     return false;
   }
   return true;
@@ -276,9 +325,11 @@ int run_scenario_mode(const Options& opt) {
   // One-shot-only flags must not be silently dropped in scenario mode:
   // the spec (or its explicit overrides below) owns those choices.
   if (opt.topology_set || opt.size_set || opt.demand_set || opt.batch > 1 ||
+      opt.shards > 1 || opt.aggregate || !opt.demands_file.empty() ||
       opt.integral || opt.fast_math || !opt.dot_path.empty()) {
     std::fprintf(stderr,
-                 "error: --topology/--size/--demand/--batch/--integral/"
+                 "error: --topology/--size/--demand/--batch/--shards/"
+                 "--aggregate/--demands-file/--integral/"
                  "--fast-math/--dot do not apply to scenario mode (set them "
                  "in the spec; --backend/--alpha/--seed/--epochs/--reinstall/"
                  "--threads override it)\n");
@@ -441,6 +492,45 @@ int main(int argc, char** argv) {
   std::printf("topology %s: %d vertices, %d edges\n", opt.topology.c_str(),
               engine.graph().num_vertices(), engine.graph().num_edges());
 
+  if (!opt.demands_file.empty()) {
+    // Two-pass streaming: pass 1 collects the file's support to install
+    // paths over, pass 2 re-opens the file and routes it through the
+    // scale-out batch pipeline — the batch itself is never materialized.
+    std::vector<std::pair<int, int>> pairs;
+    {
+      sor::io::FileDemandSource pass1(opt.demands_file);
+      pairs = sor::scale::collect_support_pairs(pass1);
+    }
+    sor::SamplingSpec sampling;
+    sampling.alpha = opt.alpha;
+    sampling.all_pairs = false;
+    sampling.pairs = std::move(pairs);
+    const sor::PathSystem& ps = engine.install_paths(sampling);
+    std::printf("sampled %zu candidate paths (alpha = %d) over %zu pairs\n",
+                ps.total_paths(), opt.alpha, ps.num_pairs());
+
+    sor::RouteSpec route_spec;
+    route_spec.round_integral = opt.integral;
+    route_spec.fast_math = opt.fast_math;
+    sor::BatchSpec batch_spec;
+    batch_spec.keep_reports = !opt.aggregate;
+    batch_spec.aggregate_duplicates = opt.aggregate;
+    batch_spec.shards = opt.shards;
+
+    sor::io::FileDemandSource pass2(opt.demands_file);
+    const sor::BatchReport batch =
+        engine.route_batch(pass2, route_spec, batch_spec);
+    std::printf(
+        "routed %zu demands (%zu distinct) across %d shard(s) on %d "
+        "thread(s):\n  global congestion %.4f, max per-demand congestion "
+        "%.4f\n  wall %.0f ms -> %.0f demands/sec\n",
+        batch.num_demands, batch.num_groups, batch.spec.shards, batch.threads,
+        batch.global_congestion, batch.max_congestion, batch.wall_ms,
+        batch.demands_per_sec());
+    if (opt.mem_stats) print_mem_stats(engine);
+    return 0;
+  }
+
   const int n = engine.graph().num_vertices();
   auto make_demand = [&]() -> sor::Demand {
     if (opt.demand == "permutation") {
@@ -479,12 +569,24 @@ int main(int argc, char** argv) {
   route_spec.fast_math = opt.fast_math;
 
   if (opt.batch > 1) {
-    const sor::BatchReport batch = engine.route_batch(demands, route_spec);
+    sor::BatchSpec batch_spec;
+    batch_spec.keep_reports = !opt.aggregate;
+    batch_spec.aggregate_duplicates = opt.aggregate;
+    batch_spec.shards = opt.shards;
+    sor::scale::SpanDemandSource source(demands);
+    const sor::BatchReport batch =
+        engine.route_batch(source, route_spec, batch_spec);
     std::printf(
         "routed %d demands on %d thread(s): max congestion %.4f, "
         "max ratio <= %.2f\n",
         opt.batch, batch.threads, batch.max_congestion,
         batch.max_competitive_ratio);
+    if (opt.aggregate || opt.shards > 1) {
+      std::printf(
+          "scale-out: %zu distinct demand(s) across %d shard(s), global "
+          "congestion %.4f\n",
+          batch.num_groups, batch.spec.shards, batch.global_congestion);
+    }
     std::printf(
         "batch wall %.0f ms vs %.0f ms serial-equivalent -> speedup %.2fx\n",
         batch.wall_ms, batch.total_route_ms, batch.speedup_vs_serial());

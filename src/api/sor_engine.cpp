@@ -220,40 +220,8 @@ RouteReport& SorEngine::route_into(const Demand& demand, const RouteSpec& spec,
   return out;
 }
 
-BatchReport SorEngine::route_batch(std::span<const Demand> demands,
-                                   const RouteSpec& spec) {
-  for (const Demand& d : demands) require_installed_pairs(d);
-
-  BatchReport batch;
-  util::ThreadPool* workers = pool();
-  batch.threads = workers ? workers->num_threads() : 1;
-  // One stream per demand, split in input order BEFORE the fan-out: the
-  // reports are a function of (demands, seed) only, never of scheduling.
-  std::vector<Rng> streams = rng_.split(demands.size());
-
-  const auto start = Clock::now();
-  auto route_index = [&](std::size_t i) {
-    return route_one(demands[i], spec, streams[i]);
-  };
-  if (workers) {
-    batch.reports = workers->parallel_map(demands.size(), route_index);
-  } else {
-    batch.reports.reserve(demands.size());
-    for (std::size_t i = 0; i < demands.size(); ++i) {
-      batch.reports.push_back(route_index(i));
-    }
-  }
-  batch.wall_ms = ms_since(start);
-
-  for (const RouteReport& report : batch.reports) {
-    batch.max_congestion = std::max(batch.max_congestion, report.congestion);
-    batch.max_competitive_ratio =
-        std::max(batch.max_competitive_ratio, report.competitive_ratio);
-    batch.total_route_ms += report.times.route_ms + report.times.optimum_ms +
-                            report.times.rounding_ms + report.times.sim_ms;
-  }
-  return batch;
-}
+// route_batch lives in sor_engine_batch.cpp — the scale-out streaming /
+// aggregation / sharding pipeline is a subsystem of its own.
 
 RouteReport SorEngine::route_one(const Demand& demand, const RouteSpec& spec,
                                  Rng& rng) const {

@@ -28,6 +28,30 @@
 // item order, NEVER a shared generator — so for a fixed seed the output is
 // bit-identical for every thread count, including 1. Parallelism changes
 // wall-clock only, never results; tests/test_route_batch.cpp enforces it.
+//
+// Scale-out batches and the streaming stability contract. The primary
+// batch entry point is route_batch(scale::DemandSource&, RouteSpec,
+// BatchSpec): demands are PULLED from the source one at a time (no
+// materialized vector anywhere in the engine) and the std::span overload
+// is a thin adapter over it. The contract that makes streaming ==
+// materialized bit for bit:
+//
+//   * INPUT ORDER DEFINES THE RNG STREAM ORDER. The engine forks exactly
+//     one child stream per pulled demand, in pull order, regardless of
+//     BatchSpec — so any two sources producing the same demand sequence
+//     yield identical reports AND leave the engine stream in the same
+//     state, whether the batch was spans, files, aggregated, or sharded.
+//   * Aggregation (BatchSpec::aggregate_duplicates) groups demands by
+//     exact entry content and solves each group once; de-aggregated
+//     per-demand reports are bit-identical to the raw run because the
+//     fractional solve draws no randomness (rounding/simulation are
+//     rejected in aggregated mode for exactly this reason).
+//   * Global loads are ONE canonical serial fold — multiplicity times the
+//     representative's load, in first-seen group order — identical by
+//     construction across aggregation modes, thread counts, and shard
+//     counts (shards only partition solves across scratch contexts; they
+//     never touch seeds or fold order). tests/test_scaleout.cpp pins all
+//     three equivalences; bench_m8_scaleout gates them at 1M entries.
 #pragma once
 
 #include <cstdint>
@@ -44,10 +68,15 @@
 #include "graph/graph.h"
 #include "runtime/alloc_stats.h"
 #include "runtime/scratch.h"
+#include "scale/aggregate.h"
 #include "sim/packet_sim.h"
 #include "util/thread_pool.h"
 
 namespace sor {
+
+namespace scale {
+class DemandSource;
+}  // namespace scale
 
 /// Stage 2 knobs: how to alpha-sample the candidate PathSystem.
 struct SamplingSpec {
@@ -140,20 +169,67 @@ struct RouteReport {
   runtime::AllocCounters mem;
 };
 
-/// Aggregate of route_batch(): one RouteReport per demand (in input order)
-/// plus the batch-level numbers a serving loop cares about.
+/// Batch-execution knobs of route_batch's DemandSource overload. One knob
+/// struct instead of growing positional parameters; every combination is
+/// bit-identical to every other in the fields all modes share (global
+/// loads, congestion, maxima) — the knobs trade memory and solve count,
+/// never results.
+struct BatchSpec {
+  /// Retain one RouteReport per streamed demand (input order). Turn OFF
+  /// for aggregate-only mode: the report then carries only the batch-level
+  /// aggregates, and route_batch memory is flat in the stream length
+  /// (bounded by the distinct-demand count plus a fixed chunk of reused
+  /// solve slots). keep_reports=false requires aggregate_duplicates=true.
+  bool keep_reports = true;
+  /// Deterministic pre-solve aggregation: demands with bit-identical entry
+  /// content coalesce into one weighted group solved ONCE (see
+  /// scale/aggregate.h). Rejects round_integral/simulate_packets — their
+  /// per-demand Rng streams would lose the input-order mapping.
+  bool aggregate_duplicates = false;
+  /// Engine replicas sharing the one frozen PathSystem: solve units are
+  /// partitioned contiguously across `shards` scratch contexts and routed
+  /// concurrently. Purely a resource-scoping knob — results are
+  /// bit-identical for every shard count (and every thread count).
+  int shards = 1;
+
+  friend bool operator==(const BatchSpec&, const BatchSpec&) = default;
+};
+
+/// Aggregate of route_batch(): the batch-level numbers a serving loop
+/// cares about, plus (unless aggregate-only mode dropped them) one
+/// RouteReport per demand in input order.
 struct BatchReport {
-  std::vector<RouteReport> reports;  ///< per-demand, in input order
-  double max_congestion = 0.0;       ///< max over the batch
+  /// Per-demand, in input order; empty when BatchSpec::keep_reports is
+  /// false. Under aggregation, demand i's report is a copy of its group
+  /// representative's — bit-identical to solving i directly.
+  std::vector<RouteReport> reports;
+  double max_congestion = 0.0;  ///< max per-demand congestion over the batch
   double max_competitive_ratio = 0.0;
-  /// Sum of the per-demand stage-3..5 solve times — what a serial route()
-  /// loop over the batch would have cost.
+  /// The batch's merged per-edge load: the canonical fold
+  /// sum_g multiplicity_g * load_g[e] over groups in first-seen order
+  /// (raw mode folds each group's representative, so the sequence — and
+  /// hence every bit — is identical with aggregation on or off).
+  std::vector<double> global_edge_load;
+  /// max_e global_edge_load[e] / capacity(e): congestion if the whole
+  /// batch were admitted simultaneously.
+  double global_congestion = 0.0;
+  std::size_t num_demands = 0;  ///< demands pulled from the source
+  std::size_t num_groups = 0;   ///< distinct demand contents among them
+  BatchSpec spec;               ///< the knobs this batch ran with
+  /// Sum of the stage-3..5 solve times actually paid (per demand in raw
+  /// mode, per group under aggregation) — the serial-equivalent work.
   double total_route_ms = 0.0;
   double wall_ms = 0.0;  ///< wall-clock of the whole batch call
   int threads = 1;       ///< pool width the batch ran with
   /// Effective parallel speedup: serial-equivalent work over wall-clock.
   double speedup_vs_serial() const {
     return wall_ms > 0.0 ? total_route_ms / wall_ms : 0.0;
+  }
+  /// End-to-end ingest+solve+merge throughput, demands per second.
+  double demands_per_sec() const {
+    return wall_ms > 0.0
+               ? 1000.0 * static_cast<double>(num_demands) / wall_ms
+               : 0.0;
   }
 };
 
@@ -196,13 +272,27 @@ class SorEngine {
   RouteReport& route_into(const Demand& demand, const RouteSpec& spec,
                           RouteReport& out);
 
-  /// Stage 3..5 for MANY revealed demands over the one frozen PathSystem,
-  /// routed concurrently across the engine's pool. Demand i draws from its
-  /// own Rng stream seed-split from the engine stream in input order, so
-  /// the reports are bit-identical for every thread count; with rounding
-  /// and simulation off (their defaults) they also equal a serial route()
-  /// loop over the same demands. Same preconditions as route(), checked
-  /// for the whole batch up front.
+  /// Stage 3..5 for MANY revealed demands over the one frozen PathSystem —
+  /// the PRIMARY batch entry point. Pulls every demand from `source`
+  /// (validating the whole stream before routing anything), optionally
+  /// aggregates duplicates, and fans the solve units out across the
+  /// engine's pool and `batch.shards` scratch contexts. Demand i draws
+  /// from its own Rng stream seed-split from the engine stream in pull
+  /// order, so the reports are bit-identical for every thread count AND
+  /// every shard count; with rounding and simulation off (their defaults)
+  /// they also equal a serial route() loop. See the header block for the
+  /// full streaming stability contract. Throws std::invalid_argument on
+  /// malformed entries, uninstalled pairs, or an inconsistent BatchSpec
+  /// (shards < 1; keep_reports=false without aggregate_duplicates;
+  /// aggregation combined with rounding/simulation).
+  BatchReport route_batch(scale::DemandSource& source,
+                          const RouteSpec& spec = {},
+                          const BatchSpec& batch = {});
+
+  /// Thin adapter over the DemandSource overload (default BatchSpec):
+  /// wraps `demands` in a scale::SpanDemandSource, preserving this
+  /// overload's historical behavior bit for bit — same reports, same
+  /// engine-stream evolution, same whole-batch up-front validation.
   BatchReport route_batch(std::span<const Demand> demands,
                           const RouteSpec& spec = {});
 
@@ -294,6 +384,20 @@ class SorEngine {
   /// runtime::ScratchPool). mutable: scratch contents never influence
   /// results, so lending one out is logically const.
   mutable runtime::ScratchPool scratch_pool_;
+  // ---- route_batch workspace (capacity-retaining across batches) -------
+  // The scale-out pipeline's reusable state: the aggregation index, the
+  // per-demand Rng streams (only filled when rounding/simulation need
+  // them), a fixed chunk of solve slots recycled across the stream, and
+  // one scratch pool per shard ("engine replicas sharing one frozen
+  // PathSystem" — scratch contents never influence results, so shards are
+  // numerically invisible). Persisting these across epochs is what keeps
+  // a steady-state serving loop's memory flat at millions of entries.
+  scale::BatchAggregator batch_agg_;
+  std::vector<Rng> batch_streams_;
+  std::vector<Demand> batch_slot_demands_;
+  std::vector<RouteReport> batch_slot_reports_;
+  std::vector<RouteReport> batch_group_reports_;
+  std::vector<runtime::ScratchPool> batch_shard_pools_;
   double build_ms_ = 0.0;
   double sample_ms_ = 0.0;
 };

@@ -1,0 +1,227 @@
+// SorEngine::route_batch — the scale-out batch pipeline.
+//
+// Three phases, with one determinism contract (see sor_engine.h):
+//
+//   1. Streaming ingest. Demands are pulled from the DemandSource one at
+//      a time, validated (entry invariants + installed pairs — so a bad
+//      batch still throws before ANY routing, like the span overload
+//      always did), grouped by exact content in the engine's
+//      BatchAggregator, and assigned one freshly-forked Rng stream each
+//      in pull order. Nothing is materialized per demand beyond the
+//      group index (and the streams, only when rounding needs them).
+//   2. Chunked sharded solves. The solve units — groups under
+//      aggregation, individual demands otherwise — are processed in
+//      fixed-size chunks through a ring of reused solve slots; within a
+//      chunk, units fan out across the worker pool, each leasing scratch
+//      from its shard's pool. Shards partition units contiguously and
+//      own nothing but scratch, so they are numerically invisible.
+//   3. Canonical serial fold. After each chunk, the slots are folded —
+//      in unit order, on the calling thread — into the global per-edge
+//      load as multiplicity * load, one dense multiply-add per group
+//      representative. Unit order visits representatives in first-seen
+//      group order whether aggregation is on or off, so the fold's
+//      floating-point sequence (and hence every output bit) is invariant
+//      across aggregation modes, thread counts, shard counts, and chunk
+//      boundaries.
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "api/sor_engine.h"
+#include "scale/demand_source.h"
+
+namespace sor {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Solve-slot ring size: bounds retained RouteReport buffers in
+/// aggregate-only mode (results never depend on it — the fold is in unit
+/// order across chunk boundaries).
+constexpr std::size_t kChunk = 256;
+
+}  // namespace
+
+BatchReport SorEngine::route_batch(std::span<const Demand> demands,
+                                   const RouteSpec& spec) {
+  scale::SpanDemandSource source(demands);
+  return route_batch(source, spec, BatchSpec{});
+}
+
+BatchReport SorEngine::route_batch(scale::DemandSource& source,
+                                   const RouteSpec& spec,
+                                   const BatchSpec& bspec) {
+  if (bspec.shards < 1) {
+    throw std::invalid_argument("route_batch: shards must be >= 1");
+  }
+  if (!bspec.keep_reports && !bspec.aggregate_duplicates) {
+    throw std::invalid_argument(
+        "route_batch: aggregate-only mode (keep_reports=false) requires "
+        "aggregate_duplicates=true — a raw batch without reports computes "
+        "nothing the aggregated one does not");
+  }
+  const bool needs_streams = spec.round_integral || spec.simulate_packets;
+  if (bspec.aggregate_duplicates && needs_streams) {
+    throw std::invalid_argument(
+        "route_batch: aggregate_duplicates cannot combine with "
+        "round_integral/simulate_packets — coalesced demands would lose "
+        "their input-order Rng stream mapping (route duplicates raw, or "
+        "round downstream)");
+  }
+  const PathSystem& ps = paths();  // std::logic_error before install_paths()
+  const auto start = Clock::now();
+  const int n = graph_->num_vertices();
+  const std::size_t num_edges =
+      static_cast<std::size_t>(graph_->num_edges());
+
+  // ---- Phase 1: streaming ingest + grouping ---------------------------
+  batch_agg_.reset();
+  batch_streams_.clear();
+  std::span<const DemandEntry> entries;
+  while (source.next(entries)) {
+    const DemandEntry* prev = nullptr;
+    for (const DemandEntry& e : entries) {
+      if (e.s < 0 || e.s >= n || e.t < 0 || e.t >= n || e.s == e.t ||
+          !(e.value > 0.0)) {
+        std::ostringstream msg;
+        msg << "route_batch: malformed demand entry (" << e.s << ", " << e.t
+            << ") = " << e.value << " (need 0 <= s,t < " << n
+            << ", s != t, value > 0)";
+        throw std::invalid_argument(msg.str());
+      }
+      if (prev != nullptr &&
+          !(std::pair(prev->s, prev->t) < std::pair(e.s, e.t))) {
+        throw std::invalid_argument(
+            "route_batch: DemandSource entries must be strictly increasing "
+            "by (s, t)");
+      }
+      if (!ps.has_pair(e.s, e.t)) {
+        std::ostringstream msg;
+        msg << "SorEngine::route: demand pair (" << e.s << ", " << e.t
+            << ") has no installed candidate paths; "
+            << "install_paths() over the demand's support first";
+        throw std::invalid_argument(msg.str());
+      }
+      prev = &e;
+    }
+    batch_agg_.add(entries);
+    // One stream per pulled demand, forked in pull order — ALWAYS, so the
+    // engine stream evolves identically whatever the BatchSpec (the span
+    // overload's historical split-per-demand behavior). Stored only when
+    // rounding/simulation will draw from it.
+    if (needs_streams) {
+      batch_streams_.push_back(rng_.fork());
+    } else {
+      (void)rng_.fork();
+    }
+  }
+
+  const std::size_t num_demands = batch_agg_.num_demands();
+  const std::span<const scale::DemandGroup> groups = batch_agg_.groups();
+  const std::span<const std::int32_t> member_group =
+      batch_agg_.member_group();
+
+  BatchReport batch;
+  batch.spec = bspec;
+  batch.num_demands = num_demands;
+  batch.num_groups = groups.size();
+  util::ThreadPool* workers = pool();
+  batch.threads = workers ? workers->num_threads() : 1;
+  batch.global_edge_load.assign(num_edges, 0.0);
+
+  const bool agg = bspec.aggregate_duplicates;
+  const std::size_t units = agg ? groups.size() : num_demands;
+  const std::size_t shards = static_cast<std::size_t>(bspec.shards);
+  if (batch_shard_pools_.size() < shards) batch_shard_pools_.resize(shards);
+  if (bspec.keep_reports) batch.reports.resize(num_demands);
+  if (agg && bspec.keep_reports) batch_group_reports_.resize(groups.size());
+
+  const std::size_t slots = std::min(kChunk, std::max<std::size_t>(units, 1));
+  if (batch_slot_demands_.size() < slots) batch_slot_demands_.resize(slots);
+  if (batch_slot_reports_.size() < slots) batch_slot_reports_.resize(slots);
+
+  // ---- Phase 2 + 3: chunked sharded solves, canonical serial fold -----
+  for (std::size_t lo = 0; lo < units; lo += kChunk) {
+    const std::size_t hi = std::min(units, lo + kChunk);
+    auto solve = [&](std::size_t k) {
+      const std::size_t u = lo + k;
+      const int g = agg ? static_cast<int>(u)
+                        : member_group[u];
+      Demand& d = batch_slot_demands_[k];
+      d.assign(batch_agg_.group_entries(g));
+      // Contiguous unit -> shard partition; the shard owns only scratch.
+      const std::size_t shard = u * shards / units;
+      auto lease = batch_shard_pools_[shard].acquire();
+      if (needs_streams) {
+        route_one_into(d, spec, batch_streams_[u], *lease,
+                       batch_slot_reports_[k]);
+      } else {
+        Rng unused(0);  // the fractional stages draw nothing
+        route_one_into(d, spec, unused, *lease, batch_slot_reports_[k]);
+      }
+    };
+    if (workers) {
+      workers->parallel_for(hi - lo, solve);
+    } else {
+      for (std::size_t k = 0; k < hi - lo; ++k) solve(k);
+    }
+
+    for (std::size_t k = 0; k < hi - lo; ++k) {
+      const std::size_t u = lo + k;
+      RouteReport& r = batch_slot_reports_[k];
+      batch.max_congestion = std::max(batch.max_congestion, r.congestion);
+      batch.max_competitive_ratio =
+          std::max(batch.max_competitive_ratio, r.competitive_ratio);
+      batch.total_route_ms += r.times.route_ms + r.times.optimum_ms +
+                              r.times.rounding_ms + r.times.sim_ms;
+      const int g = agg ? static_cast<int>(u) : member_group[u];
+      const scale::DemandGroup& group =
+          groups[static_cast<std::size_t>(g)];
+      // Fold exactly once per group, at its representative, in unit
+      // order — the canonical sequence shared by every mode.
+      if (agg || group.first == static_cast<std::int64_t>(u)) {
+        const double m = static_cast<double>(group.multiplicity);
+        const std::vector<double>& load = r.solution.edge_load;
+        double* acc = batch.global_edge_load.data();
+        const std::size_t count = std::min(num_edges, load.size());
+        for (std::size_t e = 0; e < count; ++e) acc[e] += m * load[e];
+      }
+      if (bspec.keep_reports) {
+        if (agg) {
+          batch_group_reports_[static_cast<std::size_t>(g)] = std::move(r);
+        } else {
+          batch.reports[u] = std::move(r);
+        }
+      }
+    }
+  }
+
+  if (agg && bspec.keep_reports) {
+    // De-aggregation: demand i's report is a copy of its group's —
+    // bit-identical to solving i directly, because with rounding and
+    // simulation rejected the solve is a deterministic Rng-free function
+    // of the demand content the group keys on.
+    for (std::size_t i = 0; i < num_demands; ++i) {
+      batch.reports[i] =
+          batch_group_reports_[static_cast<std::size_t>(member_group[i])];
+    }
+  }
+
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    batch.global_congestion =
+        std::max(batch.global_congestion,
+                 batch.global_edge_load[e] / graph_->edges()[e].capacity);
+  }
+  batch.wall_ms = ms_since(start);
+  return batch;
+}
+
+}  // namespace sor

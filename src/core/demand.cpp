@@ -27,6 +27,25 @@ double Demand::at(int s, int t) const {
   return it == values_.end() ? 0.0 : it->second;
 }
 
+void Demand::assign(std::span<const DemandEntry> entries) {
+  values_.clear();
+  for (const DemandEntry& e : entries) {
+    assert(e.s != e.t);
+    assert(e.value > 0.0);
+    assert(values_.empty() ||
+           values_.rbegin()->first < std::pair(e.s, e.t));
+    values_.emplace_hint(values_.end(), std::pair(e.s, e.t), e.value);
+  }
+}
+
+void Demand::entries_into(std::vector<DemandEntry>& out) const {
+  out.clear();
+  out.reserve(values_.size());
+  for (const auto& [pair, value] : values_) {
+    out.push_back(DemandEntry{pair.first, pair.second, value});
+  }
+}
+
 double Demand::size() const {
   double total = 0.0;
   for (const auto& [pair, value] : values_) total += value;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,17 @@
 #include "util/rng.h"
 
 namespace sor {
+
+/// One (s, t, value) support entry in flattened form — the vocabulary type
+/// of the streaming/aggregation layer (src/scale/): a Demand is exactly a
+/// strictly-(s, t)-sorted sequence of these with s != t and value > 0.
+struct DemandEntry {
+  int s = 0;
+  int t = 0;
+  double value = 0.0;
+
+  friend bool operator==(const DemandEntry&, const DemandEntry&) = default;
+};
 
 /// A demand d : V x V -> R>=0 with d(v, v) = 0. Iteration order over the
 /// support is deterministic (lexicographic by (s, t)).
@@ -25,6 +37,18 @@ class Demand {
   void add(int s, int t, double amount);
 
   double at(int s, int t) const;
+
+  /// Drops every entry.
+  void clear() { values_.clear(); }
+
+  /// Replaces the content with `entries`, which must be strictly
+  /// increasing by (s, t) with s != t and value > 0 — the DemandSource
+  /// span contract. O(len) via end-position insertion hints.
+  void assign(std::span<const DemandEntry> entries);
+
+  /// Flattens entries() into `out` (cleared first, capacity retained):
+  /// the span-friendly form the src/scale/ adapters stream.
+  void entries_into(std::vector<DemandEntry>& out) const;
 
   /// siz(d) = sum of all demand values.
   double size() const;

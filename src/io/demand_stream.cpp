@@ -1,0 +1,71 @@
+#include "io/demand_stream.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/serialization.h"
+
+namespace sor::io {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  std::ostringstream msg;
+  msg << "demand stream line " << line_no << ": " << what;
+  throw std::invalid_argument(msg.str());
+}
+
+}  // namespace
+
+bool DemandTextSource::next(std::span<const DemandEntry>& out) {
+  std::string line;
+  if (!detail::next_content_line(*in_, line, line_no_)) return false;
+
+  entries_.clear();
+  std::istringstream fields(line);
+  DemandEntry e;
+  while (fields >> e.s) {
+    if (!(fields >> e.t >> e.value)) {
+      fail(line_no_, "incomplete \"s t value\" triple");
+    }
+    if (e.s < 0 || e.t < 0) fail(line_no_, "negative vertex id");
+    if (e.s == e.t) {
+      fail(line_no_, "self-pair (" + std::to_string(e.s) + ", " +
+                         std::to_string(e.t) + ")");
+    }
+    if (!(e.value > 0.0)) fail(line_no_, "demand value must be > 0");
+    entries_.push_back(e);
+  }
+  // The extraction that ended the loop either hit end-of-line (fine) or a
+  // non-numeric token (error) — fully_consumed distinguishes the two.
+  fields.clear();
+  if (!detail::fully_consumed(fields)) {
+    fail(line_no_, "non-numeric token");
+  }
+
+  std::sort(entries_.begin(), entries_.end(),
+            [](const DemandEntry& a, const DemandEntry& b) {
+              return std::pair(a.s, a.t) < std::pair(b.s, b.t);
+            });
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i - 1].s == entries_[i].s &&
+        entries_[i - 1].t == entries_[i].t) {
+      fail(line_no_, "duplicate pair (" + std::to_string(entries_[i].s) +
+                         ", " + std::to_string(entries_[i].t) +
+                         ") within one demand");
+    }
+  }
+  out = entries_;
+  return true;
+}
+
+FileDemandSource::FileDemandSource(const std::string& path)
+    : file_(path), text_(file_) {
+  if (!file_) {
+    throw std::invalid_argument("cannot open demand stream file \"" + path +
+                                "\"");
+  }
+}
+
+}  // namespace sor::io

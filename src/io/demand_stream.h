@@ -1,0 +1,61 @@
+// Streaming text reader for demand batches: the file-backed DemandSource
+// that feeds sor_cli --demands-file straight into SorEngine::route_batch
+// without ever materializing the batch in memory.
+//
+// Demand-stream format: one demand per content line, each line a sequence
+// of "s t value" triples; '#' comments (full-line and inline) and blank
+// lines are skipped, per the shared line discipline of src/io/. Example:
+//
+//   # two demands
+//   0 3 1.5  2 5 0.5    # a two-commodity demand
+//   1 4 2               # a single-pair demand
+//
+// Entries are sorted by (s, t) before being handed to the engine, so line
+// order within a demand is free. Malformed input — a dangling token, a
+// non-numeric field, s == t, a negative endpoint, a non-positive value, or
+// a duplicate (s, t) within one demand — throws std::invalid_argument
+// naming the offending 1-based physical line; nothing is silently
+// dropped. (Endpoint UPPER bounds are the engine's to check: the reader
+// does not know the graph.)
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scale/demand_source.h"
+
+namespace sor::io {
+
+/// Streams demands from any std::istream, one content line per next().
+/// The stream must outlive the source.
+class DemandTextSource final : public scale::DemandSource {
+ public:
+  explicit DemandTextSource(std::istream& in) : in_(&in) {}
+
+  bool next(std::span<const DemandEntry>& out) override;
+
+ private:
+  std::istream* in_;
+  int line_no_ = 0;
+  std::vector<DemandEntry> entries_;  ///< backs the span handed out
+};
+
+/// DemandTextSource over a file. Throws std::invalid_argument when the
+/// file cannot be opened. Re-construct to rewind (the two-pass support
+/// collection pattern — see scale::collect_support_pairs).
+class FileDemandSource final : public scale::DemandSource {
+ public:
+  explicit FileDemandSource(const std::string& path);
+
+  bool next(std::span<const DemandEntry>& out) override {
+    return text_.next(out);
+  }
+
+ private:
+  std::ifstream file_;
+  DemandTextSource text_;
+};
+
+}  // namespace sor::io

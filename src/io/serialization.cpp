@@ -22,6 +22,19 @@ bool next_content_line(std::istream& in, std::string& line) {
   return false;
 }
 
+bool next_content_line(std::istream& in, std::string& line, int& line_no) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');  // full-line AND inline comments
+    if (hash != std::string::npos) line.erase(hash);
+    const auto last = line.find_last_not_of(" \t\r");
+    if (last == std::string::npos) continue;  // blank or comment-only
+    line.erase(last + 1);
+    return true;
+  }
+  return false;
+}
+
 bool fully_consumed(std::istream& in) {
   in >> std::ws;
   return in.eof();

@@ -48,6 +48,11 @@ namespace detail {
 /// `line`. Returns false at EOF.
 bool next_content_line(std::istream& in, std::string& line);
 
+/// As above, but counts every physical line consumed (including skipped
+/// blank/comment lines) into `line_no` — for readers whose errors name
+/// the offending 1-based line (start `line_no` at 0).
+bool next_content_line(std::istream& in, std::string& line, int& line_no);
+
 /// True iff `in` holds nothing but whitespace from its current position —
 /// i.e. the extraction that just ran consumed the whole line.
 bool fully_consumed(std::istream& in);

@@ -419,4 +419,36 @@ std::vector<std::string> scenario_preset_names() {
   return {"diurnal", "failover", "flashcrowd", "storm"};
 }
 
+// ---- scale-out ----------------------------------------------------------
+
+bool EpochDemandSource::next(std::span<const DemandEntry>& out) {
+  if (next_epoch_ >= epochs_) return false;
+  // Fork the epoch's child stream lazily, in epoch order — identical to
+  // generate_trace's root.split(epochs)[e] (split IS n forks in order).
+  Rng stream = root_.fork();
+  demand_ = epoch_demand(*graph_, model_, next_epoch_, stream);
+  demand_.entries_into(entries_);
+  out = entries_;
+  ++next_epoch_;
+  return true;
+}
+
+std::vector<ScenarioReport> run_scenario_jobs(std::span<const ScenarioJob> jobs,
+                                              int threads) {
+  std::vector<ScenarioReport> reports(jobs.size());
+  auto run_one = [&](std::size_t i) {
+    const ScenarioJob& job = jobs[i];
+    SorEngine engine = build_scenario_engine(job.spec, job.engine_threads);
+    const ScenarioTrace trace = generate_trace(engine.graph(), job.spec);
+    reports[i] = run_scenario(engine, job.spec, trace);
+  };
+  if (threads == 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(jobs.size(), run_one);
+  }
+  return reports;
+}
+
 }  // namespace sor::scenario

@@ -25,10 +25,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "api/sor_engine.h"
+#include "scale/demand_source.h"
 #include "scenario/link_events.h"
 #include "scenario/traffic_model.h"
 
@@ -119,6 +121,41 @@ SorEngine build_scenario_engine(const ScenarioSpec& spec, int threads = 1);
 /// a different workload than it describes.
 ScenarioTrace generate_trace(const Graph& g, const ScenarioSpec& spec);
 
+/// Streams the spec's epoch demands one per next() call — the lazy
+/// counterpart of generate_trace().demands, for feeding scenario traffic
+/// straight into SorEngine::route_batch(DemandSource&) without ever
+/// materializing the whole trace. Bit-identity contract: the i-th pulled
+/// demand equals generate_trace(g, spec).demands[i] exactly, because
+/// Rng::split(n) is n forks in index order, so forking one child stream
+/// per epoch on demand reproduces generate_trace's stream discipline
+/// stream for stream. (Only the demands are streamed; link events still
+/// come from generate_trace.)
+class EpochDemandSource final : public scale::DemandSource {
+ public:
+  EpochDemandSource(const Graph& g, const ScenarioSpec& spec)
+      : graph_(&g),
+        model_(spec.model),
+        epochs_(spec.epochs > 0 ? spec.epochs : 0),
+        root_(spec.seed) {}
+
+  bool next(std::span<const DemandEntry>& out) override;
+  std::size_t size_hint() const override {
+    return static_cast<std::size_t>(epochs_);
+  }
+
+  /// Epochs already streamed (== the next epoch index).
+  int epochs_pulled() const { return next_epoch_; }
+
+ private:
+  const Graph* graph_;
+  TrafficModelSpec model_;
+  int epochs_ = 0;
+  int next_epoch_ = 0;
+  Rng root_;
+  Demand demand_;                     ///< reused epoch materialization
+  std::vector<DemandEntry> entries_;  ///< backs the span handed out
+};
+
 /// One row of the scenario's service log, in the canonical
 /// bench_common.h stage-row spirit: wall-times split by pipeline stage so
 /// the amortization gap (`never` pays install_ms == 0 after epoch 0) is
@@ -175,6 +212,21 @@ struct ScenarioReport {
 /// thread counts for a fixed spec (timing fields excepted).
 ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
                             const ScenarioTrace& trace);
+
+/// One independent scenario run for run_scenario_jobs: its own spec, its
+/// own engine (built at `engine_threads` workers).
+struct ScenarioJob {
+  ScenarioSpec spec;
+  int engine_threads = 1;
+};
+
+/// Runs every job — build engine, generate trace, run_scenario — fanned
+/// out across `threads` workers (0 = hardware concurrency, 1 = serial).
+/// Jobs are shared-nothing (each owns its graph, engine, and trace), so
+/// results are bit-identical to running the jobs serially in order, for
+/// every `threads`; results land in job order.
+std::vector<ScenarioReport> run_scenario_jobs(std::span<const ScenarioJob> jobs,
+                                              int threads = 0);
 
 /// Named built-in scenarios ("diurnal", "flashcrowd", "storm",
 /// "failover") — starting points to dump, edit, and re-run. Nullopt for
