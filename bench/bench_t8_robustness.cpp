@@ -1,15 +1,30 @@
 // Experiment T8 — robustness under link failures (Section 1 motivation,
-// SMORE's selling point [KYY+18]).
+// SMORE's selling point [KYY+18]) plus the anytime-solve contract.
 //
 // Paper claim: semi-oblivious candidate sets sampled from an oblivious
 // routing are diverse, so after link failures most pairs keep a live
 // candidate path and a pure rate re-optimization (no new forwarding
 // state) restores near-optimal congestion.
 //
-// We sweep alpha x number-of-failed-links on two topologies and report
-// demand coverage and re-optimized congestion. Expected shape: coverage
-// rises quickly with alpha (diversity), and the surviving congestion stays
-// close to the no-failure baseline.
+// Part 1 (stdout only): sweep alpha x number-of-failed-links on two
+// topologies and report demand coverage and re-optimized congestion.
+// Expected shape: coverage rises quickly with alpha (diversity), and the
+// surviving congestion stays close to the no-failure baseline.
+//
+// Part 2 (canonical JsonSink rows, gated by tools/bench_gate.py):
+//   phase "anytime_gap"      a round-budgeted restricted/free MWU solve.
+//                            The speedup column carries 1 + certified
+//                            optimality gap — seed-exact deterministic, so
+//                            CI gates it against the committed baseline
+//                            like any other machine-independent ratio.
+//                            identical=yes iff a repeat run is bitwise
+//                            equal AND the dual certificate holds
+//                            (lower <= cong <= lower * (1 + gap)).
+//   phase "anytime_identity" the budget-off run vs a non-triggering
+//                            budget; identical=yes iff bitwise equal.
+#include <chrono>
+#include <cmath>
+
 #include "bench_common.h"
 #include "core/robustness.h"
 
@@ -17,25 +32,34 @@ namespace {
 
 using namespace sor;
 
-void run_instance(const bench::Instance& inst, Rng& rng) {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void run_failure_sweep(const bench::Instance& inst, Rng& rng, bool quick) {
   std::printf("-- %s --\n", inst.name.c_str());
   const int n = inst.graph().num_vertices();
   const Demand d = gen::random_permutation_demand(n, rng);
   const auto pairs = support_pairs(d);
 
   Table table({"alpha", "failures", "coverage", "congestion", "baseline"});
-  for (int alpha : {1, 2, 4, 8}) {
+  const std::vector<int> alphas = quick ? std::vector<int>{2, 4}
+                                        : std::vector<int>{1, 2, 4, 8};
+  for (int alpha : alphas) {
     const PathSystem ps =
         sample_path_system(inst.routing(), alpha, pairs, rng);
     MinCongestionOptions options;
-    options.rounds = 250;
+    options.rounds = quick ? 120 : 250;
     const double baseline =
         route_fractional(inst.graph(), ps, d, options).congestion;
     for (int failures : {2, 6, 12}) {
       // Average over a few failure draws.
       double coverage = 0.0;
       double congestion = 0.0;
-      const int trials = 3;
+      const int trials = quick ? 2 : 3;
       for (int t = 0; t < trials; ++t) {
         const auto failed = sample_failures(inst.graph(), failures, rng);
         const auto report =
@@ -55,20 +79,126 @@ void run_instance(const bench::Instance& inst, Rng& rng) {
   std::printf("\n");
 }
 
+/// Flattens a demand into the lp-layer commodity list (entry order).
+std::vector<Commodity> commodities_of(const Demand& d) {
+  std::vector<Commodity> out;
+  for (const auto& [pair, value] : d.entries()) {
+    out.push_back({pair.first, pair.second, value});
+  }
+  return out;
+}
+
+bool same_solution(const SemiObliviousSolution& a,
+                   const SemiObliviousSolution& b) {
+  return a.congestion == b.congestion && a.lower_bound == b.lower_bound &&
+         a.optimality_gap == b.optimality_gap && a.edge_load == b.edge_load &&
+         a.weights == b.weights && a.status == b.status;
+}
+
+bool same_result(const CongestionResult& a, const CongestionResult& b) {
+  return a.congestion == b.congestion && a.lower_bound == b.lower_bound &&
+         a.optimality_gap == b.optimality_gap && a.edge_load == b.edge_load &&
+         a.status == b.status;
+}
+
+bool certificate_holds(double congestion, double lower, double gap) {
+  return lower > 0.0 && lower <= congestion + 1e-12 && gap >= 0.0 &&
+         congestion <= lower * (1.0 + gap) * (1.0 + 1e-9);
+}
+
+/// Emits the anytime rows for one instance: a budgeted restricted solve, a
+/// budgeted free-path solve (both "anytime_gap"), and the budget-off
+/// bit-identity row ("anytime_identity").
+void run_anytime(Table& table, const bench::Instance& inst, Rng& rng,
+                 bool quick) {
+  const int n = inst.graph().num_vertices();
+  const Demand d = gen::random_permutation_demand(n, rng);
+  const PathSystem ps =
+      sample_path_system(inst.routing(), 4, support_pairs(d), rng);
+
+  MinCongestionOptions full;
+  full.rounds = quick ? 120 : 250;
+
+  // Restricted solver, round budget: seed-exact prefix + rewind, so the
+  // certified gap (and hence the speedup column) is deterministic.
+  {
+    MinCongestionOptions budgeted = full;
+    budgeted.budget.max_rounds = 16;
+    const auto start = Clock::now();
+    const SemiObliviousSolution a =
+        route_fractional(inst.graph(), ps, d, budgeted);
+    const double ms = ms_since(start);
+    const SemiObliviousSolution b =
+        route_fractional(inst.graph(), ps, d, budgeted);
+    const bool ok =
+        a.status == SolveStatus::kBudgetRounds && same_solution(a, b) &&
+        certificate_holds(a.congestion, a.lower_bound, a.optimality_gap);
+    bench::stage_row(table, "anytime_gap", inst.name + ",restricted", 1, ms,
+                     1, 1.0 + a.optimality_gap, ok ? "yes" : "no");
+  }
+
+  // Free-path solver, round budget.
+  {
+    const std::vector<Commodity> commodities = commodities_of(d);
+    MinCongestionOptions budgeted = full;
+    budgeted.budget.max_rounds = 16;
+    const auto start = Clock::now();
+    const CongestionResult a =
+        min_congestion_free(inst.graph(), commodities, budgeted);
+    const double ms = ms_since(start);
+    const CongestionResult b =
+        min_congestion_free(inst.graph(), commodities, budgeted);
+    const bool ok =
+        a.status == SolveStatus::kBudgetRounds && same_result(a, b) &&
+        certificate_holds(a.congestion, a.lower_bound, a.optimality_gap);
+    bench::stage_row(table, "anytime_gap", inst.name + ",free", 1, ms, 1,
+                     1.0 + a.optimality_gap, ok ? "yes" : "no");
+  }
+
+  // Budget off vs a budget that never triggers: bit-identical or the
+  // anytime layer leaked into the clean path.
+  {
+    const auto start = Clock::now();
+    const SemiObliviousSolution off =
+        route_fractional(inst.graph(), ps, d, full);
+    const double ms = ms_since(start);
+    MinCongestionOptions idle = full;
+    idle.budget.max_rounds = 1 << 20;  // above the round cap: never binds
+    const SemiObliviousSolution with =
+        route_fractional(inst.graph(), ps, d, idle);
+    const bool ok = same_solution(off, with) &&
+                    with.status != SolveStatus::kBudgetRounds &&
+                    with.status != SolveStatus::kBudgetDeadline;
+    bench::stage_row(table, "anytime_identity", inst.name, 1, ms, 1, -1.0,
+                     ok ? "yes" : "no");
+  }
+}
+
 }  // namespace
 
-int main() {
-  bench::banner("T8: link-failure robustness of sampled candidate sets",
-                "coverage after failures rises quickly with alpha; rate "
-                "re-optimization keeps congestion near the baseline");
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("T8: link-failure robustness + anytime-solve certificates",
+                "coverage after failures rises quickly with alpha; "
+                "round-budgeted solves return certified best-so-far "
+                "iterates, bit-identical when the budget never triggers");
+  bench::JsonSink sink(args.json_path);
   Rng rng(71);
+
+  Table anytime = bench::stage_table();
   {
-    auto inst = bench::make_hypercube(6);
-    run_instance(inst, rng);
+    auto inst = args.quick ? bench::make_hypercube(5) : bench::make_hypercube(6);
+    run_failure_sweep(inst, rng, args.quick);
+    run_anytime(anytime, inst, rng, args.quick);
   }
   {
-    auto inst = bench::make_torus(8, rng);
-    run_instance(inst, rng);
+    auto inst = args.quick ? bench::make_torus(6, rng) : bench::make_torus(8, rng);
+    run_failure_sweep(inst, rng, args.quick);
+    run_anytime(anytime, inst, rng, args.quick);
   }
-  return 0;
+
+  std::printf("-- anytime-solve certificates --\n");
+  anytime.print();
+  sink.add("t8_robustness", anytime);
+  return sink.flush() ? 0 : 1;
 }

@@ -22,11 +22,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "api/sor_engine.h"
+#include "fault/fault_plan.h"
 #include "graph/generators.h"
 #include "io/demand_stream.h"
 #include "io/scenario_io.h"
@@ -66,6 +69,11 @@ struct Options {
   int epochs_override = 0;         // > 0 overrides the spec
   std::string scenario_out;        // dump the effective spec (editable)
   std::string trace_out;           // dump the materialized trace
+  // Robustness knobs (see README "Robustness & anytime solves").
+  std::string fault_plan;    // installed as the process-global FaultPlan
+  std::string solve_budget;  // SolveBudget spec for every solve
+  std::string on_error;      // batch mode: "fail" | "skip"
+  std::string degrade_override;  // scenario mode: DegradePolicy name
 };
 
 void usage() {
@@ -78,11 +86,15 @@ void usage() {
       "               [--demands-file FILE] [--shards K] [--aggregate]\n"
       "               [--integral] [--fast-math] [--mem-stats] [--dot FILE] "
       "[--list-backends]\n"
+      "               [--fault-plan SPEC] [--solve-budget SPEC] "
+      "[--on-error fail|skip]\n"
       "       sor_cli --scenario FILE | --scenario-preset NAME\n"
       "               [--reinstall POLICY] [--epochs E] [--seed S] "
       "[--threads N]\n"
       "               [--backend SPEC] [--alpha A] [--mem-stats] "
       "[--scenario-out FILE] [--trace-out FILE]\n"
+      "               [--fault-plan SPEC] [--solve-budget SPEC] "
+      "[--degrade fail|skip_epoch|stale_route]\n"
       "\n"
       "SPEC is a registry name with optional numeric params, e.g.\n"
       "  racke:num_trees=10,eta=6   (see --list-backends)\n"
@@ -112,7 +124,18 @@ void usage() {
       "failover, flashcrowd, storm. --scenario-out dumps the effective\n"
       "spec for hand-editing (reload it with --scenario); --trace-out\n"
       "dumps the materialized trace (reload programmatically via\n"
-      "src/io/scenario_io.h read_trace).\n");
+      "src/io/scenario_io.h read_trace).\n"
+      "\n"
+      "Robustness: --fault-plan installs a deterministic fault-injection\n"
+      "plan, e.g. \"seed=7;worker_throw@3;stream_read%%100\" (sites:\n"
+      "stream_read, stream_bitflip, edge_capacity, scratch_alloc,\n"
+      "worker_throw, io_truncate, install; triggers @K-th, %%every-K,\n"
+      "~probability; also via env SOR_FAULT_PLAN). --solve-budget bounds\n"
+      "every solve, e.g. \"max_rounds=64,deadline_ms=50,gap=1.1\" — the\n"
+      "solver returns its best iterate with a certified optimality gap.\n"
+      "--on-error skip turns batch failures into per-demand error records\n"
+      "(surviving loads unchanged); --degrade picks the scenario engine's\n"
+      "failure response.\n");
 }
 
 void list_backends() {
@@ -220,6 +243,26 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
       const char* v = next("--dot");
       if (!v) return false;
       opt.dot_path = v;
+    } else if (!std::strcmp(argv[i], "--fault-plan")) {
+      const char* v = next("--fault-plan");
+      if (!v) return false;
+      opt.fault_plan = v;
+    } else if (!std::strcmp(argv[i], "--solve-budget")) {
+      const char* v = next("--solve-budget");
+      if (!v) return false;
+      opt.solve_budget = v;
+    } else if (!std::strcmp(argv[i], "--on-error")) {
+      const char* v = next("--on-error");
+      if (!v) return false;
+      opt.on_error = v;
+      if (opt.on_error != "fail" && opt.on_error != "skip") {
+        std::fprintf(stderr, "--on-error needs fail or skip, got %s\n", v);
+        return false;
+      }
+    } else if (!std::strcmp(argv[i], "--degrade")) {
+      const char* v = next("--degrade");
+      if (!v) return false;
+      opt.degrade_override = v;
     } else if (!std::strcmp(argv[i], "--list-backends")) {
       list_backends();
       exit_ok = true;
@@ -326,13 +369,15 @@ int run_scenario_mode(const Options& opt) {
   // the spec (or its explicit overrides below) owns those choices.
   if (opt.topology_set || opt.size_set || opt.demand_set || opt.batch > 1 ||
       opt.shards > 1 || opt.aggregate || !opt.demands_file.empty() ||
-      opt.integral || opt.fast_math || !opt.dot_path.empty()) {
+      opt.integral || opt.fast_math || !opt.dot_path.empty() ||
+      !opt.on_error.empty()) {
     std::fprintf(stderr,
                  "error: --topology/--size/--demand/--batch/--shards/"
                  "--aggregate/--demands-file/--integral/"
-                 "--fast-math/--dot do not apply to scenario mode (set them "
-                 "in the spec; --backend/--alpha/--seed/--epochs/--reinstall/"
-                 "--threads override it)\n");
+                 "--fast-math/--dot/--on-error do not apply to scenario mode "
+                 "(set them in the spec; --backend/--alpha/--seed/--epochs/"
+                 "--reinstall/--degrade/--solve-budget/--threads override "
+                 "it)\n");
     return 1;
   }
   if (!opt.scenario_path.empty() && !opt.scenario_preset.empty()) {
@@ -380,6 +425,25 @@ int run_scenario_mode(const Options& opt) {
       return 1;
     }
     spec.reinstall = *policy;
+  }
+  if (!opt.solve_budget.empty()) {
+    const auto budget = sor::SolveBudget::parse(opt.solve_budget);
+    if (!budget) {
+      std::fprintf(stderr, "error: bad --solve-budget %s\n",
+                   opt.solve_budget.c_str());
+      return 1;
+    }
+    spec.budget = *budget;
+  }
+  if (!opt.degrade_override.empty()) {
+    const auto policy = scn::parse_degrade_policy(opt.degrade_override);
+    if (!policy) {
+      std::fprintf(stderr,
+                   "error: bad --degrade %s (fail, skip_epoch, stale_route)\n",
+                   opt.degrade_override.c_str());
+      return 1;
+    }
+    spec.degrade = *policy;
   }
   if (!opt.scenario_out.empty()) {
     std::ofstream out(opt.scenario_out);
@@ -438,6 +502,10 @@ int run_scenario_mode(const Options& opt) {
       report.reinstalls, report.total_install_ms, report.total_route_ms,
       report.max_congestion, report.max_ratio, report.mean_coverage,
       report.min_coverage);
+  if (report.degraded_epochs > 0) {
+    std::printf("%d degraded epoch(s) absorbed under policy %s\n",
+                report.degraded_epochs, scn::to_string(spec.degrade));
+  }
   if (opt.mem_stats) {
     print_mem_stats(engine);
     // Epoch 0 is warm-up (cold scratch arenas); afterwards a steady-state
@@ -462,6 +530,16 @@ int main(int argc, char** argv) {
   Options opt;
   bool exit_ok = false;
   if (!parse(argc, argv, opt, exit_ok)) return exit_ok ? 0 : 1;
+  if (!opt.fault_plan.empty()) {
+    auto plan = sor::fault::FaultPlan::parse(opt.fault_plan);
+    if (!plan) {
+      std::fprintf(stderr, "error: bad --fault-plan %s\n",
+                   opt.fault_plan.c_str());
+      return 1;
+    }
+    sor::fault::set_global_plan(
+        std::make_shared<sor::fault::FaultPlan>(*plan));
+  }
   if (!opt.scenario_path.empty() || !opt.scenario_preset.empty()) {
     try {
       return run_scenario_mode(opt);
@@ -482,6 +560,16 @@ int main(int argc, char** argv) {
   }
   sor::Rng rng(opt.seed);
   try {
+  sor::SolveBudget budget;
+  if (!opt.solve_budget.empty()) {
+    const auto parsed = sor::SolveBudget::parse(opt.solve_budget);
+    if (!parsed) {
+      std::fprintf(stderr, "error: bad --solve-budget %s\n",
+                   opt.solve_budget.c_str());
+      return 1;
+    }
+    budget = *parsed;
+  }
   sor::SorEngine engine = [&] {
     Topology topo = make_topology(opt, rng);
     const std::string spec =
@@ -497,7 +585,24 @@ int main(int argc, char** argv) {
     // paths over, pass 2 re-opens the file and routes it through the
     // scale-out batch pipeline — the batch itself is never materialized.
     std::vector<std::pair<int, int>> pairs;
-    {
+    if (opt.on_error == "skip") {
+      // Fault-tolerant support pass: a poisoned line contributes no pairs
+      // here and becomes a per-demand error record in the routing pass
+      // below, instead of killing the whole batch up front.
+      sor::io::FileDemandSource pass1(opt.demands_file);
+      std::span<const sor::DemandEntry> entries;
+      for (;;) {
+        try {
+          if (!pass1.next(entries)) break;
+        } catch (const sor::SorError& err) {
+          if (err.code() == sor::ErrorCode::kStreamTruncated) break;
+          continue;
+        }
+        for (const sor::DemandEntry& e : entries) pairs.emplace_back(e.s, e.t);
+      }
+      std::sort(pairs.begin(), pairs.end());
+      pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    } else {
       sor::io::FileDemandSource pass1(opt.demands_file);
       pairs = sor::scale::collect_support_pairs(pass1);
     }
@@ -512,10 +617,14 @@ int main(int argc, char** argv) {
     sor::RouteSpec route_spec;
     route_spec.round_integral = opt.integral;
     route_spec.fast_math = opt.fast_math;
+    route_spec.budget = budget;
     sor::BatchSpec batch_spec;
     batch_spec.keep_reports = !opt.aggregate;
     batch_spec.aggregate_duplicates = opt.aggregate;
     batch_spec.shards = opt.shards;
+    if (opt.on_error == "skip") {
+      batch_spec.on_error = sor::OnError::kSkipAndReport;
+    }
 
     sor::io::FileDemandSource pass2(opt.demands_file);
     const sor::BatchReport batch =
@@ -527,6 +636,11 @@ int main(int argc, char** argv) {
         batch.num_demands, batch.num_groups, batch.spec.shards, batch.threads,
         batch.global_congestion, batch.max_congestion, batch.wall_ms,
         batch.demands_per_sec());
+    if (batch.num_failed > 0) {
+      std::printf("%zu demand(s) failed and were skipped (%zu error "
+                  "record(s)); surviving loads unaffected\n",
+                  batch.num_failed, batch.errors.size());
+    }
     if (opt.mem_stats) print_mem_stats(engine);
     return 0;
   }
@@ -567,12 +681,16 @@ int main(int argc, char** argv) {
   sor::RouteSpec route_spec;
   route_spec.round_integral = opt.integral;
   route_spec.fast_math = opt.fast_math;
+  route_spec.budget = budget;
 
   if (opt.batch > 1) {
     sor::BatchSpec batch_spec;
     batch_spec.keep_reports = !opt.aggregate;
     batch_spec.aggregate_duplicates = opt.aggregate;
     batch_spec.shards = opt.shards;
+    if (opt.on_error == "skip") {
+      batch_spec.on_error = sor::OnError::kSkipAndReport;
+    }
     sor::scale::SpanDemandSource source(demands);
     const sor::BatchReport batch =
         engine.route_batch(source, route_spec, batch_spec);
@@ -623,6 +741,10 @@ int main(int argc, char** argv) {
 
   const sor::RouteReport report = engine.route(d, route_spec);
   std::printf("fractional congestion: %.4f\n", report.congestion);
+  if (route_spec.budget.enabled()) {
+    std::printf("solve status: %s, certified optimality gap <= %.4f\n",
+                sor::to_string(report.solve_status), report.optimality_gap);
+  }
   std::printf("offline optimum in [%.4f, %.4f] -> ratio <= %.2f\n",
               report.optimum->lower, report.optimum->upper,
               report.competitive_ratio);

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "fault/fault_plan.h"
 
 namespace sor {
 
@@ -85,12 +88,36 @@ SorEngine SorEngine::build(Graph graph, const BackendSpec& spec,
   return engine;
 }
 
+void SorEngine::set_fault_plan(std::shared_ptr<fault::FaultPlan> plan) {
+  fault_plan_ = std::move(plan);
+}
+
+fault::FaultPlan* SorEngine::active_fault_plan() const {
+  if (fault_plan_) return fault_plan_.get();
+  // The registry keeps the global plan alive until it is replaced, so the
+  // raw pointer stays valid for callers that install plans up front (CLI,
+  // env, test setup) — the supported usage.
+  return fault::global_plan().get();
+}
+
 void SorEngine::set_edge_capacity(int e, double capacity) {
+  if (fault::FaultPlan* plan = active_fault_plan();
+      plan && plan->fire_next(fault::Site::kEdgeCapacity)) {
+    // Injected corruption: the update arrives as 0 or NaN — exactly the
+    // inputs the validation below must reject.
+    capacity = (e % 2 == 0) ? 0.0 : std::numeric_limits<double>::quiet_NaN();
+  }
   if (e < 0 || e >= graph_->num_edges()) {
-    throw std::invalid_argument("SorEngine::set_edge_capacity: bad edge id");
+    throw SorError(ErrorCode::kBadCapacity, "set_edge_capacity",
+                   "SorEngine::set_edge_capacity: bad edge id");
+  }
+  if (!std::isfinite(capacity)) {
+    throw SorError(ErrorCode::kBadCapacity, "set_edge_capacity",
+                   "SorEngine::set_edge_capacity: capacity must be finite");
   }
   if (!(capacity > 0.0)) {
-    throw std::invalid_argument(
+    throw SorError(
+        ErrorCode::kBadCapacity, "set_edge_capacity",
         "SorEngine::set_edge_capacity: capacity must be > 0 (model a failed "
         "link as a small positive capacity, not 0)");
   }
@@ -134,6 +161,15 @@ util::ThreadPool* SorEngine::pool() {
 }
 
 const PathSystem& SorEngine::install_paths(const SamplingSpec& spec) {
+  if (fault::FaultPlan* plan = active_fault_plan();
+      plan && plan->fire_next(fault::Site::kInstall)) {
+    // Injected at entry, BEFORE any engine state is touched, so a caller
+    // that catches this (scenario DegradePolicy::kStaleRoute) keeps a
+    // fully consistent frozen PathSystem to serve from.
+    throw SorError(ErrorCode::kInstallFault, "install",
+                   "install_paths: injected install fault (fault-plan site "
+                   "install)");
+  }
   if (spec.alpha < 1) {
     throw std::invalid_argument("install_paths: alpha must be >= 1");
   }
@@ -215,6 +251,12 @@ RouteReport SorEngine::route(const Demand& demand, const RouteSpec& spec) {
 RouteReport& SorEngine::route_into(const Demand& demand, const RouteSpec& spec,
                                    RouteReport& out) {
   require_installed_pairs(demand);
+  if (fault::FaultPlan* plan = active_fault_plan();
+      plan && plan->fire_next(fault::Site::kScratchAlloc)) {
+    throw SorError(ErrorCode::kScratchAlloc, "scratch_pool",
+                   "route: injected scratch-arena allocation failure "
+                   "(fault-plan site scratch_alloc)");
+  }
   auto scratch = scratch_pool_.acquire();
   route_one_into(demand, spec, rng_, *scratch, out);
   return out;
@@ -226,6 +268,12 @@ RouteReport& SorEngine::route_into(const Demand& demand, const RouteSpec& spec,
 RouteReport SorEngine::route_one(const Demand& demand, const RouteSpec& spec,
                                  Rng& rng) const {
   RouteReport report;
+  if (fault::FaultPlan* plan = active_fault_plan();
+      plan && plan->fire_next(fault::Site::kScratchAlloc)) {
+    throw SorError(ErrorCode::kScratchAlloc, "scratch_pool",
+                   "route: injected scratch-arena allocation failure "
+                   "(fault-plan site scratch_alloc)");
+  }
   auto scratch = scratch_pool_.acquire();
   route_one_into(demand, spec, rng, *scratch, report);
   return report;
@@ -251,6 +299,10 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
   // spelling opts the whole route (restricted solve + optimum oracle) in.
   MinCongestionOptions mwu = spec.mwu;
   mwu.fast_math = mwu.fast_math || spec.fast_math;
+  // RouteSpec::budget is the convenience alias for mwu.budget (same idiom
+  // as fast_math): an enabled spec budget governs the restricted solve and
+  // the optimum oracle below.
+  if (spec.budget.enabled()) mwu.budget = spec.budget;
 
   {
     const auto start = Clock::now();
@@ -263,6 +315,8 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
     out.times.route_ms = ms_since(start);
   }
   out.congestion = out.solution.congestion;
+  out.solve_status = out.solution.status;
+  out.optimality_gap = out.solution.optimality_gap;
 
   double lb = 0.0;
   if (spec.compute_lower_bound) {

@@ -58,6 +58,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -65,6 +66,7 @@
 #include "core/path_system.h"
 #include "core/rounding.h"
 #include "core/semi_oblivious.h"
+#include "fault/sor_error.h"
 #include "graph/graph.h"
 #include "runtime/alloc_stats.h"
 #include "runtime/scratch.h"
@@ -77,6 +79,10 @@ namespace sor {
 namespace scale {
 class DemandSource;
 }  // namespace scale
+
+namespace fault {
+class FaultPlan;
+}  // namespace fault
 
 /// Stage 2 knobs: how to alpha-sample the candidate PathSystem.
 struct SamplingSpec {
@@ -127,6 +133,13 @@ struct RouteSpec {
   /// round_integral).
   bool simulate_packets = false;
   SchedulePolicy policy = SchedulePolicy::kRandomPriority;
+  /// Anytime-solve budget, forwarded into the restricted solve AND the
+  /// offline-optimum oracle (when enabled it overrides mwu.budget). On
+  /// budget exhaustion the solvers return the best iterate seen so far
+  /// with a SolveStatus and a certified optimality gap; with the budget
+  /// disabled (default) routing is bit-identical to a build without it.
+  /// Exposed as `sor_cli --solve-budget`.
+  SolveBudget budget;
 };
 
 /// Wall-clock per pipeline stage, milliseconds.
@@ -159,6 +172,13 @@ struct RouteReport {
   /// Packet-level makespan of the integral routing (iff simulate_packets).
   std::optional<SimulationResult> simulation;
 
+  /// Why the restricted MWU solve stopped (mirrors solution.status) and
+  /// its certified gap vs the MWU dual bound:
+  ///   solution.lower_bound <= cong_R(P, d)
+  ///                        <= congestion = solution.lower_bound * (1+gap).
+  SolveStatus solve_status = SolveStatus::kCompleted;
+  double optimality_gap = 0.0;
+
   StageTimes times;
 
   /// Heap-allocation delta of this route call's stages 3..5, measured on
@@ -167,6 +187,32 @@ struct RouteReport {
   /// steady-state route reports 0 allocs, the contract
   /// bench_m7_service_memory gates.
   runtime::AllocCounters mem;
+};
+
+/// What route_batch does when a demand fails — during ingest (malformed
+/// entry, stream read error, uninstalled pair) or during its solve
+/// (injected or organic worker fault, scratch acquisition failure).
+enum class OnError {
+  /// Throw on the first failure (legacy behavior, the default). The
+  /// exception is deterministic: ingest failures throw at the offending
+  /// pull, solve failures surface the lowest-index unit's exception
+  /// (see util::ThreadPool's ordered error propagation).
+  kFailFast = 0,
+  /// Record a per-demand DemandError and keep going. Failed/poisoned units
+  /// fold ZERO load into the canonical serial fold, so the surviving
+  /// units' loads are bit-identical across thread and shard counts — and
+  /// bit-identical to a batch that never contained the poisoned demands.
+  kSkipAndReport = 1,
+};
+
+/// One failed demand under OnError::kSkipAndReport, in demand index order.
+/// Under aggregation a failed group is reported once, at its
+/// representative's (first-seen) demand index.
+struct DemandError {
+  std::size_t index = 0;  ///< demand pull index (0-based)
+  ErrorCode code = ErrorCode::kWorkerFault;
+  std::string site;
+  std::string detail;
 };
 
 /// Batch-execution knobs of route_batch's DemandSource overload. One knob
@@ -191,6 +237,8 @@ struct BatchSpec {
   /// concurrently. Purely a resource-scoping knob — results are
   /// bit-identical for every shard count (and every thread count).
   int shards = 1;
+  /// Failure policy (graceful degradation): see OnError.
+  OnError on_error = OnError::kFailFast;
 
   friend bool operator==(const BatchSpec&, const BatchSpec&) = default;
 };
@@ -215,6 +263,12 @@ struct BatchReport {
   double global_congestion = 0.0;
   std::size_t num_demands = 0;  ///< demands pulled from the source
   std::size_t num_groups = 0;   ///< distinct demand contents among them
+  /// Per-demand failures under OnError::kSkipAndReport, sorted by demand
+  /// index (empty under kFailFast — the first failure throws instead).
+  /// A failed demand's reports[] slot is a default RouteReport.
+  std::vector<DemandError> errors;
+  /// Demands that did not route (counts every member of a failed group).
+  std::size_t num_failed = 0;
   BatchSpec spec;               ///< the knobs this batch ran with
   /// Sum of the stage-3..5 solve times actually paid (per demand in raw
   /// mode, per group under aggregation) — the serial-equivalent work.
@@ -323,6 +377,15 @@ class SorEngine {
   /// follow up with install_paths().
   void rebuild_backend();
 
+  /// Installs a deterministic fault-injection plan on this engine (nullptr
+  /// clears it). Without an engine plan, the process-global plan
+  /// (fault::global_plan(), i.e. --fault-plan / SOR_FAULT_PLAN) applies.
+  /// Injected failures throw SorError and ride the same degradation paths
+  /// as organic ones (BatchSpec::on_error, scenario DegradePolicy).
+  void set_fault_plan(std::shared_ptr<fault::FaultPlan> plan);
+  /// The plan in effect (engine plan, else global plan; may be null).
+  fault::FaultPlan* active_fault_plan() const;
+
   /// The (effective) spec Stage 1 was built with; rebuild_backend() reuses
   /// it verbatim.
   const BackendSpec& backend_spec() const { return spec_; }
@@ -398,6 +461,20 @@ class SorEngine {
   std::vector<RouteReport> batch_slot_reports_;
   std::vector<RouteReport> batch_group_reports_;
   std::vector<runtime::ScratchPool> batch_shard_pools_;
+  /// Pull-index -> aggregation group id, or -1 for a demand poisoned
+  /// during ingest (kSkipAndReport only; -1 never appears under
+  /// kFailFast, where ingest failures throw).
+  std::vector<std::int32_t> batch_unit_group_;
+  /// Group id -> pull index of its first-seen member (the representative
+  /// the raw-mode canonical fold charges the group's load to). Equals
+  /// BatchAggregator's member indexing when no demand is poisoned.
+  std::vector<std::int64_t> batch_group_first_;
+  /// Per solve-slot outcome of the current chunk (see kSlot* in
+  /// sor_engine_batch.cpp) + the captured error of failed slots.
+  std::vector<char> batch_slot_state_;
+  std::vector<DemandError> batch_slot_errors_;
+  /// Engine-scoped fault plan (see set_fault_plan).
+  std::shared_ptr<fault::FaultPlan> fault_plan_;
   double build_ms_ = 0.0;
   double sample_ms_ = 0.0;
 };

@@ -23,13 +23,33 @@
 //      floating-point sequence (and hence every output bit) is invariant
 //      across aggregation modes, thread counts, shard counts, and chunk
 //      boundaries.
+//
+// Graceful degradation (BatchSpec::on_error == kSkipAndReport): a demand
+// that fails — during ingest (malformed entry, stream read error,
+// uninstalled pair) or during its solve (organic or fault-injected worker
+// exception, scratch acquisition failure) — becomes a DemandError record
+// instead of unwinding the batch. The determinism contract extends to the
+// degraded run:
+//   * the engine still forks exactly one Rng stream per pull attempt
+//     (poisoned pulls included), so the stream discipline is independent
+//     of WHICH demands fail;
+//   * solve-time failures are caught inside the worker and recorded during
+//     the serial fold in unit order, never via the pool's exception path;
+//   * failed/poisoned units fold ZERO load, so the surviving units' loads
+//     are bit-identical across thread and shard counts — and identical to
+//     a batch that never contained the failed demands.
+// Solve-site fault injection in the batch is keyed by the stable unit
+// index (FaultPlan::fires), not a visit counter, for the same reason.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "api/sor_engine.h"
+#include "fault/fault_plan.h"
 #include "scale/demand_source.h"
 
 namespace sor {
@@ -47,6 +67,11 @@ double ms_since(Clock::time_point start) {
 /// aggregate-only mode (results never depend on it — the fold is in unit
 /// order across chunk boundaries).
 constexpr std::size_t kChunk = 256;
+
+// Per solve-slot outcome of the current chunk.
+constexpr char kSlotOk = 0;
+constexpr char kSlotFailed = 1;    ///< solve threw; error captured
+constexpr char kSlotPoisoned = 2;  ///< ingest-poisoned unit (raw mode)
 
 }  // namespace
 
@@ -81,25 +106,30 @@ BatchReport SorEngine::route_batch(scale::DemandSource& source,
   const int n = graph_->num_vertices();
   const std::size_t num_edges =
       static_cast<std::size_t>(graph_->num_edges());
+  const bool skip = bspec.on_error == OnError::kSkipAndReport;
+  fault::FaultPlan* plan = active_fault_plan();
 
-  // ---- Phase 1: streaming ingest + grouping ---------------------------
-  batch_agg_.reset();
-  batch_streams_.clear();
-  std::span<const DemandEntry> entries;
-  while (source.next(entries)) {
+  BatchReport batch;
+  batch.spec = bspec;
+
+  // Checks each pulled demand's entry invariants in entry order, exactly
+  // as the historical inline loop did; returns the first violation.
+  auto validate =
+      [&](std::span<const DemandEntry> es) -> std::optional<SorError> {
     const DemandEntry* prev = nullptr;
-    for (const DemandEntry& e : entries) {
+    for (const DemandEntry& e : es) {
       if (e.s < 0 || e.s >= n || e.t < 0 || e.t >= n || e.s == e.t ||
-          !(e.value > 0.0)) {
+          !(e.value > 0.0) || !std::isfinite(e.value)) {
         std::ostringstream msg;
         msg << "route_batch: malformed demand entry (" << e.s << ", " << e.t
             << ") = " << e.value << " (need 0 <= s,t < " << n
             << ", s != t, value > 0)";
-        throw std::invalid_argument(msg.str());
+        return SorError(ErrorCode::kMalformedDemand, "route_batch", msg.str());
       }
       if (prev != nullptr &&
           !(std::pair(prev->s, prev->t) < std::pair(e.s, e.t))) {
-        throw std::invalid_argument(
+        return SorError(
+            ErrorCode::kMalformedDemand, "route_batch",
             "route_batch: DemandSource entries must be strictly increasing "
             "by (s, t)");
       }
@@ -108,15 +138,76 @@ BatchReport SorEngine::route_batch(scale::DemandSource& source,
         msg << "SorEngine::route: demand pair (" << e.s << ", " << e.t
             << ") has no installed candidate paths; "
             << "install_paths() over the demand's support first";
-        throw std::invalid_argument(msg.str());
+        return SorError(ErrorCode::kUninstalledPair, "route_batch", msg.str());
       }
       prev = &e;
     }
-    batch_agg_.add(entries);
+    return std::nullopt;
+  };
+
+  // ---- Phase 1: streaming ingest + grouping ---------------------------
+  batch_agg_.reset();
+  batch_streams_.clear();
+  batch_unit_group_.clear();
+  batch_group_first_.clear();
+  std::span<const DemandEntry> entries;
+  for (;;) {
+    bool have = false;
+    if (skip) {
+      // A throwing pull still occupies a demand slot (error record, one
+      // Rng fork) and the stream is re-pulled — sources advance past a
+      // poisoned record, except truncation, which ends the stream.
+      try {
+        have = source.next(entries);
+      } catch (const SorError& err) {
+        const std::size_t index = batch_unit_group_.size();
+        batch.errors.push_back({index, err.code(), err.site(), err.what()});
+        batch_unit_group_.push_back(-1);
+        ++batch.num_failed;
+        if (needs_streams) {
+          batch_streams_.push_back(rng_.fork());
+        } else {
+          (void)rng_.fork();
+        }
+        if (err.code() == ErrorCode::kStreamTruncated) break;
+        continue;
+      } catch (const std::exception& err) {
+        const std::size_t index = batch_unit_group_.size();
+        batch.errors.push_back(
+            {index, ErrorCode::kStreamRead, "demand_stream", err.what()});
+        batch_unit_group_.push_back(-1);
+        ++batch.num_failed;
+        if (needs_streams) {
+          batch_streams_.push_back(rng_.fork());
+        } else {
+          (void)rng_.fork();
+        }
+        continue;
+      }
+    } else {
+      have = source.next(entries);
+    }
+    if (!have) break;
+    std::optional<SorError> bad = validate(entries);
+    if (bad && !skip) throw *bad;
+    if (bad) {
+      const std::size_t index = batch_unit_group_.size();
+      batch.errors.push_back({index, bad->code(), bad->site(), bad->what()});
+      batch_unit_group_.push_back(-1);
+      ++batch.num_failed;
+    } else {
+      const int g = batch_agg_.add(entries);
+      batch_unit_group_.push_back(g);
+      if (static_cast<std::size_t>(g) == batch_group_first_.size()) {
+        batch_group_first_.push_back(
+            static_cast<std::int64_t>(batch_unit_group_.size()) - 1);
+      }
+    }
     // One stream per pulled demand, forked in pull order — ALWAYS, so the
     // engine stream evolves identically whatever the BatchSpec (the span
-    // overload's historical split-per-demand behavior). Stored only when
-    // rounding/simulation will draw from it.
+    // overload's historical split-per-demand behavior) and whichever
+    // demands are poisoned. Stored only when rounding/simulation will
+    // draw from it.
     if (needs_streams) {
       batch_streams_.push_back(rng_.fork());
     } else {
@@ -124,13 +215,9 @@ BatchReport SorEngine::route_batch(scale::DemandSource& source,
     }
   }
 
-  const std::size_t num_demands = batch_agg_.num_demands();
+  const std::size_t num_demands = batch_unit_group_.size();
   const std::span<const scale::DemandGroup> groups = batch_agg_.groups();
-  const std::span<const std::int32_t> member_group =
-      batch_agg_.member_group();
 
-  BatchReport batch;
-  batch.spec = bspec;
   batch.num_demands = num_demands;
   batch.num_groups = groups.size();
   util::ThreadPool* workers = pool();
@@ -147,25 +234,63 @@ BatchReport SorEngine::route_batch(scale::DemandSource& source,
   const std::size_t slots = std::min(kChunk, std::max<std::size_t>(units, 1));
   if (batch_slot_demands_.size() < slots) batch_slot_demands_.resize(slots);
   if (batch_slot_reports_.size() < slots) batch_slot_reports_.resize(slots);
+  if (batch_slot_state_.size() < slots) batch_slot_state_.resize(slots);
+  if (batch_slot_errors_.size() < slots) batch_slot_errors_.resize(slots);
 
   // ---- Phase 2 + 3: chunked sharded solves, canonical serial fold -----
   for (std::size_t lo = 0; lo < units; lo += kChunk) {
     const std::size_t hi = std::min(units, lo + kChunk);
-    auto solve = [&](std::size_t k) {
-      const std::size_t u = lo + k;
-      const int g = agg ? static_cast<int>(u)
-                        : member_group[u];
+    auto solve_unit = [&](std::size_t k, std::size_t u, int g) {
       Demand& d = batch_slot_demands_[k];
       d.assign(batch_agg_.group_entries(g));
+      // Fault sites inside the batch are keyed by the STABLE unit index
+      // (never a visit counter), so which units fail is a pure function
+      // of the plan — identical across thread and shard counts.
+      if (plan && plan->fires(fault::Site::kScratchAlloc, u)) {
+        throw SorError(ErrorCode::kScratchAlloc, "scratch_pool",
+                       "route_batch: injected scratch-arena allocation "
+                       "failure (fault-plan site scratch_alloc)");
+      }
       // Contiguous unit -> shard partition; the shard owns only scratch.
       const std::size_t shard = u * shards / units;
       auto lease = batch_shard_pools_[shard].acquire();
+      if (plan && plan->fires(fault::Site::kWorkerThrow, u)) {
+        throw SorError(ErrorCode::kWorkerFault, "worker",
+                       "route_batch: injected worker fault (fault-plan site "
+                       "worker_throw)");
+      }
       if (needs_streams) {
         route_one_into(d, spec, batch_streams_[u], *lease,
                        batch_slot_reports_[k]);
       } else {
         Rng unused(0);  // the fractional stages draw nothing
         route_one_into(d, spec, unused, *lease, batch_slot_reports_[k]);
+      }
+    };
+    auto solve = [&](std::size_t k) {
+      const std::size_t u = lo + k;
+      const int g = agg ? static_cast<int>(u) : batch_unit_group_[u];
+      if (g < 0) {
+        batch_slot_state_[k] = kSlotPoisoned;  // recorded during ingest
+        return;
+      }
+      if (!skip) {
+        batch_slot_state_[k] = kSlotOk;
+        solve_unit(k, u, g);
+        return;
+      }
+      // Degraded mode: capture the failure in the slot; the serial fold
+      // below surfaces it in unit order (the pool never sees it).
+      try {
+        solve_unit(k, u, g);
+        batch_slot_state_[k] = kSlotOk;
+      } catch (const SorError& err) {
+        batch_slot_state_[k] = kSlotFailed;
+        batch_slot_errors_[k] = {0, err.code(), err.site(), err.what()};
+      } catch (const std::exception& err) {
+        batch_slot_state_[k] = kSlotFailed;
+        batch_slot_errors_[k] =
+            {0, ErrorCode::kWorkerFault, "worker", err.what()};
       }
     };
     if (workers) {
@@ -176,18 +301,36 @@ BatchReport SorEngine::route_batch(scale::DemandSource& source,
 
     for (std::size_t k = 0; k < hi - lo; ++k) {
       const std::size_t u = lo + k;
+      if (batch_slot_state_[k] == kSlotPoisoned) continue;
+      const int g = agg ? static_cast<int>(u) : batch_unit_group_[u];
+      if (batch_slot_state_[k] == kSlotFailed) {
+        DemandError err = std::move(batch_slot_errors_[k]);
+        // A failed unit is reported at its representative's pull index
+        // and counts every member demand as failed.
+        err.index = static_cast<std::size_t>(
+            batch_group_first_[static_cast<std::size_t>(g)]);
+        batch.errors.push_back(std::move(err));
+        batch.num_failed += static_cast<std::size_t>(
+            groups[static_cast<std::size_t>(g)].multiplicity);
+        if (agg && bspec.keep_reports) {
+          // The group-report cache persists across batches; a failed
+          // group must not leak a stale report into de-aggregation.
+          batch_group_reports_[static_cast<std::size_t>(g)] = RouteReport{};
+        }
+        continue;  // folds zero load; reports slot stays default
+      }
       RouteReport& r = batch_slot_reports_[k];
       batch.max_congestion = std::max(batch.max_congestion, r.congestion);
       batch.max_competitive_ratio =
           std::max(batch.max_competitive_ratio, r.competitive_ratio);
       batch.total_route_ms += r.times.route_ms + r.times.optimum_ms +
                               r.times.rounding_ms + r.times.sim_ms;
-      const int g = agg ? static_cast<int>(u) : member_group[u];
       const scale::DemandGroup& group =
           groups[static_cast<std::size_t>(g)];
       // Fold exactly once per group, at its representative, in unit
       // order — the canonical sequence shared by every mode.
-      if (agg || group.first == static_cast<std::int64_t>(u)) {
+      if (agg || batch_group_first_[static_cast<std::size_t>(g)] ==
+                     static_cast<std::int64_t>(u)) {
         const double m = static_cast<double>(group.multiplicity);
         const std::vector<double>& load = r.solution.edge_load;
         double* acc = batch.global_edge_load.data();
@@ -208,12 +351,22 @@ BatchReport SorEngine::route_batch(scale::DemandSource& source,
     // De-aggregation: demand i's report is a copy of its group's —
     // bit-identical to solving i directly, because with rounding and
     // simulation rejected the solve is a deterministic Rng-free function
-    // of the demand content the group keys on.
+    // of the demand content the group keys on. Poisoned demands (no
+    // group) keep their default report.
     for (std::size_t i = 0; i < num_demands; ++i) {
-      batch.reports[i] =
-          batch_group_reports_[static_cast<std::size_t>(member_group[i])];
+      const std::int32_t g = batch_unit_group_[i];
+      if (g < 0) continue;
+      batch.reports[i] = batch_group_reports_[static_cast<std::size_t>(g)];
     }
   }
+
+  // Ingest errors landed in pull order, solve errors in unit order; merge
+  // into one index-sorted record stream (deterministic: indices from the
+  // two phases never collide for the same failure).
+  std::sort(batch.errors.begin(), batch.errors.end(),
+            [](const DemandError& a, const DemandError& b) {
+              return a.index < b.index;
+            });
 
   for (std::size_t e = 0; e < num_edges; ++e) {
     batch.global_congestion =

@@ -19,6 +19,8 @@ SemiObliviousSolution assemble(const Graph& g,
   solution.edge_load = std::move(result.edge_load);
   solution.congestion = result.congestion;
   solution.lower_bound = result.lower_bound;
+  solution.status = result.status;
+  solution.optimality_gap = result.optimality_gap;
   solution.max_hops = 0;
   for (std::size_t j = 0; j < solution.paths.size(); ++j) {
     for (std::size_t i = 0; i < solution.paths[j].size(); ++i) {
@@ -91,6 +93,8 @@ void route_fractional_into(const Graph& g, const PathSystem& ps,
   out.edge_load.assign(result.edge_load.begin(), result.edge_load.end());
   out.congestion = result.congestion;
   out.lower_bound = result.lower_bound;
+  out.status = result.status;
+  out.optimality_gap = result.optimality_gap;
   out.max_hops = 0;
   for (std::size_t j = 0; j < out.paths.size(); ++j) {
     for (std::size_t i = 0; i < out.paths[j].size(); ++i) {
@@ -130,6 +134,7 @@ OptimalCongestion optimal_congestion(const Graph& g, const Demand& d,
                            scratch.result);
   opt.upper = scratch.result.congestion;
   opt.lower = scratch.result.lower_bound;
+  opt.status = scratch.result.status;
   // opt >= siz(d) / total capacity (Lemma 5.16 generalized to capacities):
   // every unit of demand crosses at least one edge.
   const double trivial = d.size() / g.total_capacity();

@@ -22,6 +22,10 @@ struct SemiObliviousSolution {
   double congestion = 0.0;     ///< exact cong of the returned weights
   double lower_bound = 0.0;    ///< dual bound on cong_R(P, d)
   int max_hops = 0;            ///< dilation of the support of the routing
+  /// Anytime-solve surface (see SolveBudget in lp/min_congestion.h): why
+  /// the MWU solve stopped and the certified gap vs its own dual bound.
+  SolveStatus status = SolveStatus::kCompleted;
+  double optimality_gap = 0.0;
 };
 
 /// Routes `d` over `ps` with the MWU engine. Every support pair of `d` must
@@ -66,6 +70,9 @@ struct OptimalCongestion {
   /// competitive ratios (the max of lower and a trivial bound; > 0 whenever
   /// the demand is nonempty).
   double value() const { return lower > 0.0 ? lower : upper; }
+  /// Why the free-path MWU solve stopped (anytime budgets truncate the
+  /// optimum oracle too).
+  SolveStatus status = SolveStatus::kCompleted;
 };
 
 OptimalCongestion optimal_congestion(const Graph& g, const Demand& d,

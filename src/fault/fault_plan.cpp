@@ -1,0 +1,202 @@
+#include "fault/fault_plan.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+namespace sor::fault {
+namespace {
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "stream_read",   "stream_bitflip", "edge_capacity", "scratch_alloc",
+    "worker_throw",  "io_truncate",    "install",
+};
+
+// splitmix64: the standard counter-mode mixer — one fixed permutation of a
+// 64-bit counter, so the probabilistic trigger is a pure function of
+// (seed, site, index).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t seed, Site site, std::uint64_t index) {
+  const std::uint64_t h = mix64(
+      mix64(seed ^ (static_cast<std::uint64_t>(site) + 1) * 0xd6e8feb86659fd93ULL) ^
+      index);
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), out);
+  return res.ec == std::errc{} && res.ptr == text.data() + text.size();
+}
+
+bool parse_prob(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  std::string buf(text);
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size() && std::isfinite(out) && out >= 0.0 &&
+         out <= 1.0;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* site_name(Site site) {
+  const int i = static_cast<int>(site);
+  if (i < 0 || i >= kNumSites) return "unknown";
+  return kSiteNames[i];
+}
+
+std::optional<Site> parse_site(std::string_view name) {
+  for (int i = 0; i < kNumSites; ++i) {
+    if (name == kSiteNames[i]) return static_cast<Site>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find_first_of(";,", pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view token = trim(std::string_view(text).substr(pos, end - pos));
+    pos = end + 1;
+    if (token.empty()) continue;
+    if (token.substr(0, 5) == "seed=") {
+      if (!parse_u64(token.substr(5), plan.seed_)) return std::nullopt;
+      continue;
+    }
+    const std::size_t sep = token.find_first_of("@%~");
+    if (sep == std::string_view::npos) return std::nullopt;
+    const auto site = parse_site(trim(token.substr(0, sep)));
+    if (!site) return std::nullopt;
+    Rule rule;
+    rule.site = *site;
+    const std::string_view arg = trim(token.substr(sep + 1));
+    switch (token[sep]) {
+      case '@':
+        rule.kind = Rule::Kind::kAt;
+        if (!parse_u64(arg, rule.k) || rule.k == 0) return std::nullopt;
+        break;
+      case '%':
+        rule.kind = Rule::Kind::kEvery;
+        if (!parse_u64(arg, rule.k) || rule.k == 0) return std::nullopt;
+        break;
+      case '~':
+        rule.kind = Rule::Kind::kProb;
+        if (!parse_prob(arg, rule.p)) return std::nullopt;
+        break;
+      default:
+        return std::nullopt;
+    }
+    plan.rules_.push_back(rule);
+  }
+  return plan;
+}
+
+bool FaultPlan::fires(Site site, std::uint64_t index) const {
+  for (const Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    switch (rule.kind) {
+      case Rule::Kind::kAt:
+        if (index + 1 == rule.k) return true;
+        break;
+      case Rule::Kind::kEvery:
+        if ((index + 1) % rule.k == 0) return true;
+        break;
+      case Rule::Kind::kProb:
+        if (uniform01(seed_, site, index) < rule.p) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::fire_next(Site site) {
+  const std::uint64_t index =
+      counters_[static_cast<std::size_t>(site)].fetch_add(
+          1, std::memory_order_relaxed);
+  return fires(site, index);
+}
+
+bool FaultPlan::covers(Site site) const {
+  for (const Rule& rule : rules_) {
+    if (rule.site == site) return true;
+  }
+  return false;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  if (seed_ != 0) {
+    out << "seed=" << seed_;
+    first = false;
+  }
+  for (const Rule& rule : rules_) {
+    if (!first) out << ";";
+    first = false;
+    out << site_name(rule.site);
+    switch (rule.kind) {
+      case Rule::Kind::kAt:
+        out << "@" << rule.k;
+        break;
+      case Rule::Kind::kEvery:
+        out << "%" << rule.k;
+        break;
+      case Rule::Kind::kProb:
+        out << "~" << rule.p;
+        break;
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+std::mutex g_plan_mutex;
+std::shared_ptr<FaultPlan> g_plan;
+bool g_env_checked = false;
+
+}  // namespace
+
+std::shared_ptr<FaultPlan> global_plan() {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  if (!g_env_checked) {
+    g_env_checked = true;
+    if (const char* env = std::getenv("SOR_FAULT_PLAN")) {
+      if (auto plan = FaultPlan::parse(env)) {
+        g_plan = std::make_shared<FaultPlan>(*plan);
+      }
+    }
+  }
+  return g_plan;
+}
+
+void set_global_plan(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  g_env_checked = true;  // explicit install wins over the environment
+  g_plan = std::move(plan);
+}
+
+}  // namespace sor::fault

@@ -1,6 +1,8 @@
 #include "graph/graph.h"
 
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 namespace sor {
 
@@ -32,8 +34,16 @@ int Graph::add_edge(int u, int v, double capacity) {
 }
 
 void Graph::set_capacity(int e, double capacity) {
-  assert(e >= 0 && e < num_edges());
-  assert(capacity > 0.0);
+  // Real validation, not assert-only: a zero/NaN capacity would silently
+  // poison every congestion ratio computed afterwards, so reject it in
+  // release builds too.
+  if (e < 0 || e >= num_edges()) {
+    throw std::invalid_argument("Graph::set_capacity: edge id out of range");
+  }
+  if (!std::isfinite(capacity) || !(capacity > 0.0)) {
+    throw std::invalid_argument(
+        "Graph::set_capacity: capacity must be finite and > 0");
+  }
   Edge& edge = edges_[static_cast<std::size_t>(e)];
   edge.capacity = capacity;
   // Re-resolve the pair's canonical edge: incident ids are in insertion

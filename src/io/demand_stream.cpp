@@ -1,9 +1,12 @@
 #include "io/demand_stream.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/fault_plan.h"
+#include "fault/sor_error.h"
 #include "io/serialization.h"
 
 namespace sor::io {
@@ -13,12 +16,21 @@ namespace {
 [[noreturn]] void fail(int line_no, const std::string& what) {
   std::ostringstream msg;
   msg << "demand stream line " << line_no << ": " << what;
-  throw std::invalid_argument(msg.str());
+  throw SorError(ErrorCode::kMalformedDemand, "demand_stream", msg.str());
 }
 
 }  // namespace
 
 bool DemandTextSource::next(std::span<const DemandEntry>& out) {
+  // Read-fault injection fires BEFORE the line is consumed, so a caller
+  // that skips the error and re-pulls resumes at the same record.
+  if (fault::FaultPlan* plan = fault::global_plan().get()) {
+    if (plan->fire_next(fault::Site::kStreamRead)) {
+      throw SorError(
+          ErrorCode::kStreamRead, "demand_stream",
+          "demand stream: injected read fault (fault-plan site stream_read)");
+    }
+  }
   std::string line;
   if (!detail::next_content_line(*in_, line, line_no_)) return false;
 
@@ -35,6 +47,7 @@ bool DemandTextSource::next(std::span<const DemandEntry>& out) {
                          std::to_string(e.t) + ")");
     }
     if (!(e.value > 0.0)) fail(line_no_, "demand value must be > 0");
+    if (!std::isfinite(e.value)) fail(line_no_, "demand value must be finite");
     entries_.push_back(e);
   }
   // The extraction that ended the loop either hit end-of-line (fine) or a
@@ -56,6 +69,14 @@ bool DemandTextSource::next(std::span<const DemandEntry>& out) {
                          ") within one demand");
     }
   }
+  // Bit-flip injection corrupts the (already validated) payload in a way
+  // the ENGINE's validation must catch — it exercises the second line of
+  // defense, not this reader's.
+  if (fault::FaultPlan* plan = fault::global_plan().get()) {
+    if (!entries_.empty() && plan->fire_next(fault::Site::kStreamBitflip)) {
+      entries_.front().value = -entries_.front().value;
+    }
+  }
   out = entries_;
   return true;
 }
@@ -66,6 +87,20 @@ FileDemandSource::FileDemandSource(const std::string& path)
     throw std::invalid_argument("cannot open demand stream file \"" + path +
                                 "\"");
   }
+}
+
+bool FileDemandSource::next(std::span<const DemandEntry>& out) {
+  // Truncation injection models the file ending mid-stream: unlike a read
+  // fault, it is terminal — kStreamTruncated tells skip_and_report callers
+  // to stop pulling.
+  if (fault::FaultPlan* plan = fault::global_plan().get()) {
+    if (plan->fire_next(fault::Site::kIoTruncate)) {
+      throw SorError(ErrorCode::kStreamTruncated, "demand_file",
+                     "demand stream: injected IO truncation (fault-plan site "
+                     "io_truncate)");
+    }
+  }
+  return text_.next(out);
 }
 
 }  // namespace sor::io

@@ -49,9 +49,7 @@ class FileDemandSource final : public scale::DemandSource {
  public:
   explicit FileDemandSource(const std::string& path);
 
-  bool next(std::span<const DemandEntry>& out) override {
-    return text_.next(out);
-  }
+  bool next(std::span<const DemandEntry>& out) override;
 
  private:
   std::ifstream file_;

@@ -1,6 +1,7 @@
 #include "io/scenario_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -81,7 +82,9 @@ std::optional<LinkEvent> parse_event(std::istream& in) {
   if (!kind) return std::nullopt;
   ev.kind = *kind;
   if (ev.kind == LinkEvent::Kind::kScale) {
-    if (!(in >> ev.factor) || ev.factor <= 0.0) return std::nullopt;
+    if (!(in >> ev.factor) || ev.factor <= 0.0 || !std::isfinite(ev.factor)) {
+      return std::nullopt;
+    }
   }
   if (!fully_consumed(in)) return std::nullopt;
   if (ev.epoch < 0 || ev.u < 0 || ev.v < 0 || ev.u == ev.v) {
@@ -107,6 +110,12 @@ void write_scenario(std::ostream& out, const ScenarioSpec& spec) {
   out << "measure_ratio " << (spec.measure_ratio ? 1 : 0) << '\n';
   out << "rebuild_backend " << (spec.rebuild_backend ? 1 : 0) << '\n';
   out << "reinstall " << spec.reinstall.to_string() << '\n';
+  // Robustness knobs are written only when set, so specs that predate them
+  // round-trip byte-identically.
+  if (spec.degrade != scenario::DegradePolicy::kFail) {
+    out << "degrade " << scenario::to_string(spec.degrade) << '\n';
+  }
+  if (spec.budget.enabled()) out << "budget " << spec.budget.to_string() << '\n';
   out << "model " << spec.model.to_string() << '\n';
   out << "churn " << churn_to_string(spec.churn) << '\n';
   for (const LinkEvent& ev : spec.events) write_event(out, ev);
@@ -172,6 +181,18 @@ std::optional<ScenarioSpec> read_scenario(std::istream& in) {
       const auto policy = ReinstallPolicy::parse(text);
       if (!policy) return std::nullopt;
       spec.reinstall = *policy;
+    } else if (key == "degrade") {
+      std::string text;
+      if (!(ls >> text) || !fully_consumed(ls)) return std::nullopt;
+      const auto policy = scenario::parse_degrade_policy(text);
+      if (!policy) return std::nullopt;
+      spec.degrade = *policy;
+    } else if (key == "budget") {
+      std::string text;
+      if (!(ls >> text) || !fully_consumed(ls)) return std::nullopt;
+      const auto budget = SolveBudget::parse(text);
+      if (!budget) return std::nullopt;
+      spec.budget = *budget;
     } else if (key == "model") {
       std::string text;
       if (!(ls >> text) || !fully_consumed(ls)) return std::nullopt;
@@ -251,7 +272,8 @@ std::optional<ScenarioTrace> read_trace(std::istream& in, int num_vertices) {
       double value = 0.0;
       if (current < 0 || !(triple >> s >> t >> value) ||
           !fully_consumed(triple) || s == t || s < 0 || t < 0 ||
-          !in_bounds(s) || !in_bounds(t) || value < 0.0) {
+          !in_bounds(s) || !in_bounds(t) || value < 0.0 ||
+          !std::isfinite(value)) {
         return std::nullopt;
       }
       trace.demands[static_cast<std::size_t>(current)].set(s, t, value);

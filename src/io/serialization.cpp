@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -93,7 +94,7 @@ std::optional<Demand> read_demand(std::istream& in) {
     int t = 0;
     double value = 0.0;
     if (!(ls >> s >> t >> value) || !fully_consumed(ls) || s == t ||
-        value < 0.0) {
+        value < 0.0 || !std::isfinite(value)) {
       return std::nullopt;
     }
     d.set(s, t, value);
@@ -156,7 +157,7 @@ std::optional<Graph> read_graph(std::istream& in) {
     int v = 0;
     double cap = 0.0;
     if (!(ls >> u >> v >> cap) || !fully_consumed(ls) || u < 0 || v < 0 ||
-        u >= n || v >= n || u == v || cap <= 0.0) {
+        u >= n || v >= n || u == v || cap <= 0.0 || !std::isfinite(cap)) {
       return std::nullopt;
     }
     g.add_edge(u, v, cap);

@@ -2,13 +2,97 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <span>
+#include <sstream>
 
 #include "graph/shortest_path.h"
 
 namespace sor {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kCompleted: return "completed";
+    case SolveStatus::kTargetReached: return "target_reached";
+    case SolveStatus::kBudgetRounds: return "budget_rounds";
+    case SolveStatus::kBudgetDeadline: return "budget_deadline";
+  }
+  return "unknown";
+}
+
+std::optional<SolveBudget> SolveBudget::parse(const std::string& text) {
+  SolveBudget budget;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find_first_of(",;", pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (value.empty()) return std::nullopt;
+    if (key == "max_rounds" || key == "rounds") {
+      int parsed = 0;
+      const auto res = std::from_chars(value.data(),
+                                       value.data() + value.size(), parsed);
+      if (res.ec != std::errc{} || res.ptr != value.data() + value.size() ||
+          parsed < 0) {
+        return std::nullopt;
+      }
+      budget.max_rounds = parsed;
+    } else if (key == "deadline_ms" || key == "target_gap" || key == "gap") {
+      char* parse_end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &parse_end);
+      if (parse_end != value.c_str() + value.size() ||
+          !std::isfinite(parsed) || parsed < 0.0) {
+        return std::nullopt;
+      }
+      if (key == "deadline_ms") {
+        budget.deadline_ms = parsed;
+      } else {
+        // A gap bar below 1 can never be met (upper >= lower); reject.
+        if (parsed != 0.0 && parsed < 1.0) return std::nullopt;
+        budget.target_gap = parsed;
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return budget;
+}
+
+std::string SolveBudget::to_string() const {
+  // Shortest round-trip form, so parse(to_string()) == *this exactly (the
+  // scenario file format relies on it).
+  const auto fmt = [](double value) {
+    char buffer[32];
+    const auto res = std::to_chars(buffer, buffer + sizeof(buffer), value);
+    return std::string(buffer, res.ptr);
+  };
+  std::ostringstream out;
+  out << "max_rounds=" << max_rounds << ",deadline_ms=" << fmt(deadline_ms)
+      << ",target_gap=" << fmt(target_gap);
+  return out.str();
+}
+
+namespace {
+
+/// Certified suboptimality of (upper, dual lower) — see
+/// CongestionResult::optimality_gap.
+double certified_gap(double congestion, double lower_bound) {
+  if (congestion <= 0.0) return 0.0;
+  if (lower_bound <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, congestion / lower_bound - 1.0);
+}
+
+}  // namespace
 
 double congestion_of_weights(const Graph& g,
                              const std::vector<Commodity>& commodities,
@@ -100,6 +184,8 @@ void min_congestion_over_paths_into(const Graph& g,
   out.congestion = 0.0;
   out.lower_bound = 0.0;
   out.rounds_used = 0;
+  out.status = SolveStatus::kCompleted;
+  out.optimality_gap = 0.0;
   out.path_weights.resize(k);
   if (k == 0 || m == 0) {
     for (std::size_t j = 0; j < k; ++j) {
@@ -206,8 +292,33 @@ void min_congestion_over_paths_into(const Graph& g,
   double untouched_value = 1.0;  // exp(0.0 - max_log), fast-math only
   double width_norm = 0.0;
   double best_lower = 0.0;
+
+  // ---- anytime budget ----------------------------------------------------
+  // A round budget truncates the SAME trajectory the unbudgeted solve
+  // walks (eta above still derives from options.rounds), so budgeted runs
+  // are seed-exact prefixes of full runs. With the budget disabled every
+  // branch below is off and the arithmetic is bit-identical to a build
+  // without it; the wall clock is only consulted when a deadline is set.
+  const SolveBudget& budget = options.budget;
+  const int round_cap =
+      (budget.max_rounds > 0 && budget.max_rounds < options.rounds)
+          ? budget.max_rounds
+          : options.rounds;
+  const double gap_mult =
+      budget.target_gap > 0.0 ? budget.target_gap : options.target_gap;
+  const bool track_best = budget.max_rounds > 0 || budget.deadline_ms > 0.0;
+  const auto budget_start = budget.deadline_ms > 0.0
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
+  double best_seen = std::numeric_limits<double>::infinity();
+  int best_round = 0;
+  bool target_hit = false;
+  bool deadline_hit = false;
+  auto& budget_counts = sc.budget_counts;
+  if (track_best) budget_counts.assign(counts.size(), 0);
+
   int round = 0;
-  for (round = 0; round < options.rounds; ++round) {
+  for (round = 0; round < round_cap; ++round) {
     // Normalize x from log-space. Cached exps are exact reuses; edges with
     // log_x still at +0.0 all take the one value exp(0.0 - max_log); the
     // exact path re-sums the total over every edge in index order, as the
@@ -404,10 +515,26 @@ void min_congestion_over_paths_into(const Graph& g,
     for (int e : touched) round_load[static_cast<std::size_t>(e)] = 0.0;
     touched.clear();
 
+    // Track the best averaged iterate so a budget stop can rewind to it
+    // (snapshotting the choice counts; the weights conversion below
+    // rebuilds the iterate from them). Budget-gated: never runs unbudgeted.
+    if (track_best) {
+      double cur = 0.0;
+      for (std::size_t e = 0; e < m; ++e) {
+        cur = std::max(cur, cumulative_load[e] /
+                                (static_cast<double>(round + 1) * cap[e]));
+      }
+      if (cur < best_seen) {
+        best_seen = cur;
+        best_round = round + 1;
+        budget_counts = counts;
+      }
+    }
+
     if (round + 1 >= options.min_rounds && best_lower > 0.0) {
       // Exit iff max_e cumulative/(rounds * cap) <= lower * gap, i.e. iff
       // no edge violates; short-circuit on the first violation.
-      const double bar = best_lower * options.target_gap;
+      const double bar = best_lower * gap_mult;
       bool exit_now = true;
       for (std::size_t e = 0; e < m; ++e) {
         if (cumulative_load[e] /
@@ -419,9 +546,41 @@ void min_congestion_over_paths_into(const Graph& g,
       }
       if (exit_now) {
         ++round;
+        target_hit = true;
         break;
       }
     }
+
+    if (budget.deadline_ms > 0.0 &&
+        (round + 1) % kDeadlineCheckRounds == 0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - budget_start)
+              .count();
+      if (elapsed_ms >= budget.deadline_ms) {
+        ++round;
+        deadline_hit = true;
+        break;
+      }
+    }
+  }
+
+  SolveStatus status = SolveStatus::kCompleted;
+  if (target_hit) {
+    status = SolveStatus::kTargetReached;
+  } else if (deadline_hit) {
+    status = SolveStatus::kBudgetDeadline;
+  } else if (round_cap < options.rounds && round >= round_cap) {
+    status = SolveStatus::kBudgetRounds;
+  }
+  if ((status == SolveStatus::kBudgetRounds ||
+       status == SolveStatus::kBudgetDeadline) &&
+      best_round > 0 && best_round < round) {
+    // Rewind to the best prefix iterate seen. The dual bound is a max over
+    // rounds and independent of the returned iterate, so best_lower still
+    // certifies the rewound result.
+    round = best_round;
+    counts = budget_counts;
   }
 
   const double rounds_used = static_cast<double>(std::max(round, 1));
@@ -433,6 +592,7 @@ void min_congestion_over_paths_into(const Graph& g,
   out.congestion = congestion;
   out.lower_bound = best_lower;
   out.rounds_used = round;
+  out.status = status;
 
   // Convert choice counts into fractional weights over the ORIGINAL
   // candidate indexing (duplicates keep their reference weight: 0), then
@@ -452,6 +612,7 @@ void min_congestion_over_paths_into(const Graph& g,
   }
   out.congestion = congestion_of_weights(g, commodities, candidates,
                                          out.path_weights, &out.edge_load);
+  out.optimality_gap = certified_gap(out.congestion, out.lower_bound);
 }
 
 CongestionResult min_congestion_over_paths(
@@ -516,6 +677,8 @@ void min_congestion_free_into(const Graph& g,
   out.congestion = 0.0;
   out.lower_bound = 0.0;
   out.rounds_used = 0;
+  out.status = SolveStatus::kCompleted;
+  out.optimality_gap = 0.0;
   if (k == 0 || m == 0) return;
 
   auto& cap = sc.cap;
@@ -641,8 +804,31 @@ void min_congestion_free_into(const Graph& g,
 
   double width_norm = 0.0;
   double best_lower = 0.0;
+
+  // ---- anytime budget ----------------------------------------------------
+  // Same contract as the restricted solver: a round budget truncates the
+  // same trajectory (eta still derives from options.rounds); nothing here
+  // runs, and the clock is never read, when the budget is disabled.
+  const SolveBudget& budget = options.budget;
+  const int round_cap =
+      (budget.max_rounds > 0 && budget.max_rounds < options.rounds)
+          ? budget.max_rounds
+          : options.rounds;
+  const double gap_mult =
+      budget.target_gap > 0.0 ? budget.target_gap : options.target_gap;
+  const bool track_best = budget.max_rounds > 0 || budget.deadline_ms > 0.0;
+  const auto budget_start = budget.deadline_ms > 0.0
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
+  double best_seen = std::numeric_limits<double>::infinity();
+  int best_round = 0;
+  bool target_hit = false;
+  bool deadline_hit = false;
+  auto& budget_load = sc.budget_load;
+  if (track_best) budget_load.assign(m, 0.0);
+
   int round = 0;
-  for (round = 0; round < options.rounds; ++round) {
+  for (round = 0; round < round_cap; ++round) {
     // Normalize x from log-space (exp cache identical to the restricted
     // solver's); the best response reads every edge, so all m lengths are
     // refreshed.
@@ -768,8 +954,23 @@ void min_congestion_free_into(const Graph& g,
     for (int e : touched) round_load[static_cast<std::size_t>(e)] = 0.0;
     touched.clear();
 
+    // Best-prefix tracking for budget stops (free mode returns the
+    // averaged loads directly, so the loads themselves are snapshotted).
+    if (track_best) {
+      double cur = 0.0;
+      for (std::size_t e = 0; e < m; ++e) {
+        cur = std::max(cur, cumulative_load[e] /
+                                (static_cast<double>(round + 1) * cap[e]));
+      }
+      if (cur < best_seen) {
+        best_seen = cur;
+        best_round = round + 1;
+        budget_load = cumulative_load;
+      }
+    }
+
     if (round + 1 >= options.min_rounds && best_lower > 0.0) {
-      const double bar = best_lower * options.target_gap;
+      const double bar = best_lower * gap_mult;
       bool exit_now = true;
       for (std::size_t e = 0; e < m; ++e) {
         if (cumulative_load[e] /
@@ -781,9 +982,38 @@ void min_congestion_free_into(const Graph& g,
       }
       if (exit_now) {
         ++round;
+        target_hit = true;
         break;
       }
     }
+
+    if (budget.deadline_ms > 0.0 &&
+        (round + 1) % kDeadlineCheckRounds == 0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - budget_start)
+              .count();
+      if (elapsed_ms >= budget.deadline_ms) {
+        ++round;
+        deadline_hit = true;
+        break;
+      }
+    }
+  }
+
+  SolveStatus status = SolveStatus::kCompleted;
+  if (target_hit) {
+    status = SolveStatus::kTargetReached;
+  } else if (deadline_hit) {
+    status = SolveStatus::kBudgetDeadline;
+  } else if (round_cap < options.rounds && round >= round_cap) {
+    status = SolveStatus::kBudgetRounds;
+  }
+  if ((status == SolveStatus::kBudgetRounds ||
+       status == SolveStatus::kBudgetDeadline) &&
+      best_round > 0 && best_round < round) {
+    round = best_round;
+    cumulative_load = budget_load;
   }
 
   const double rounds_used = static_cast<double>(std::max(round, 1));
@@ -795,6 +1025,8 @@ void min_congestion_free_into(const Graph& g,
   out.congestion = congestion;
   out.lower_bound = best_lower;
   out.rounds_used = round;
+  out.status = status;
+  out.optimality_gap = certified_gap(out.congestion, out.lower_bound);
 }
 
 CongestionResult min_congestion_free(const Graph& g,

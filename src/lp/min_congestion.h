@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/path_store.h"
@@ -37,10 +38,58 @@ struct Commodity {
   double amount = 0.0;
 };
 
+/// Anytime-solve budget. MWU is an anytime algorithm — every round carries
+/// an LP dual certificate — so a budgeted solve stops early and returns the
+/// best-congestion averaged iterate seen so far, together with the dual
+/// lower bound and a certified optimality gap.
+///
+/// Determinism contract:
+///  * max_rounds truncates the SAME trajectory an unbudgeted solve walks
+///    (the learning rate is still derived from options.rounds), so a
+///    round-budgeted solve is seed-exact deterministic and is a prefix of
+///    the full solve.
+///  * target_gap overrides options.target_gap for the early-exit check —
+///    also deterministic.
+///  * deadline_ms consults the wall clock every kDeadlineCheckRounds
+///    rounds; which checkpoint trips is machine-dependent, so
+///    deadline-stopped results are documented as non-deterministic and
+///    excluded from identity gates. The clock is never consulted when
+///    deadline_ms == 0.
+/// With all three fields at 0 the solve is bit-identical to a build
+/// without this struct.
+struct SolveBudget {
+  int max_rounds = 0;        ///< 0 = no cap; else stop after this many rounds
+  double deadline_ms = 0.0;  ///< 0 = no deadline; wall-clock milliseconds
+  double target_gap = 0.0;   ///< 0 = keep options.target_gap; else must be >= 1
+  bool enabled() const {
+    return max_rounds > 0 || deadline_ms > 0.0 || target_gap > 0.0;
+  }
+  /// "max_rounds=N,deadline_ms=D,target_gap=G" (aliases: rounds, gap; any
+  /// subset of keys). Nullopt on unknown keys / out-of-range values.
+  static std::optional<SolveBudget> parse(const std::string& text);
+  std::string to_string() const;
+  friend bool operator==(const SolveBudget&, const SolveBudget&) = default;
+};
+
+/// Why a solve stopped.
+enum class SolveStatus {
+  kCompleted = 0,       ///< ran the full configured rounds
+  kTargetReached = 1,   ///< upper/lower hit the target gap early
+  kBudgetRounds = 2,    ///< stopped at SolveBudget::max_rounds
+  kBudgetDeadline = 3,  ///< stopped at SolveBudget::deadline_ms
+};
+const char* to_string(SolveStatus status);
+
+/// Deadline checks happen every this many rounds (deterministic round
+/// counter; the clock is only read at checkpoints, and only when a
+/// deadline is set).
+inline constexpr int kDeadlineCheckRounds = 16;
+
 struct MinCongestionOptions {
   int rounds = 800;          ///< MWU iterations
   double target_gap = 1.02;  ///< stop early once upper/lower <= target_gap
   int min_rounds = 50;
+  SolveBudget budget;        ///< anytime budget; default = disabled
   /// Opt-in fast-math mode (default OFF). Replaces the reference loop's
   /// O(m)-per-round serial total-sum of the adversary weights with a
   /// segmented accumulator sum — in the restricted solver the untouched-edge
@@ -82,6 +131,14 @@ struct CongestionResult {
   /// Best dual certificate found: a lower bound on the LP optimum.
   double lower_bound = 0.0;
   int rounds_used = 0;
+  /// Why the solve stopped (anytime budgets report kBudgetRounds /
+  /// kBudgetDeadline; the classic early exit reports kTargetReached).
+  SolveStatus status = SolveStatus::kCompleted;
+  /// Certified suboptimality: congestion / lower_bound - 1, so
+  ///   lower_bound <= opt <= congestion = lower_bound * (1 + gap).
+  /// +inf when no positive dual bound was collected (e.g. a 0-round
+  /// budget); 0 for empty instances.
+  double optimality_gap = 0.0;
 };
 
 /// Reusable scratch for the two MWU solvers below. Every vector a solve
@@ -109,6 +166,10 @@ struct MinCongestionScratch {
   std::vector<double> round_load;
   std::vector<double> chosen_len;
   std::vector<int> touched;
+  // Anytime-budget best-iterate snapshots (only touched when a round cap /
+  // deadline budget is active; empty otherwise).
+  std::vector<double> budget_load;
+  std::vector<int> budget_counts;
   std::vector<int> active;
   std::vector<int> dirty;
   std::vector<char> is_active;

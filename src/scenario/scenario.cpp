@@ -84,6 +84,27 @@ std::string ReinstallPolicy::to_string() const {
   return "never";
 }
 
+// ---- DegradePolicy ------------------------------------------------------
+
+const char* to_string(DegradePolicy policy) {
+  switch (policy) {
+    case DegradePolicy::kFail:
+      return "fail";
+    case DegradePolicy::kSkipEpoch:
+      return "skip_epoch";
+    case DegradePolicy::kStaleRoute:
+      return "stale_route";
+  }
+  return "fail";
+}
+
+std::optional<DegradePolicy> parse_degrade_policy(const std::string& text) {
+  if (text == "fail") return DegradePolicy::kFail;
+  if (text == "skip_epoch") return DegradePolicy::kSkipEpoch;
+  if (text == "stale_route") return DegradePolicy::kStaleRoute;
+  return std::nullopt;
+}
+
 // ---- topology -----------------------------------------------------------
 
 Graph make_scenario_graph(const ScenarioSpec& spec) {
@@ -211,6 +232,7 @@ ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
   route_spec.compute_optimum = spec.measure_ratio;
   route_spec.compute_lower_bound = spec.measure_ratio;
   if (spec.mwu_rounds > 0) route_spec.mwu.rounds = spec.mwu_rounds;
+  if (spec.budget.enabled()) route_spec.budget = spec.budget;
 
   ScenarioReport report;
   report.epochs.reserve(static_cast<std::size_t>(epochs));
@@ -223,9 +245,24 @@ ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
   // allocations in the serving loop. bench_m7_service_memory gates this.
   RouteReport route_report;
 
+  // Tracks whether any install has ever succeeded: under a DegradePolicy
+  // the epoch-0 install can fail, and engine.paths() must not be touched
+  // before the first successful Stage 2.
+  bool have_install = false;
+
   for (int epoch = 0; epoch < epochs; ++epoch) {
     EpochReport row;
     row.epoch = epoch;
+    bool skip_epoch = false;  // kSkipEpoch absorbed a failure this epoch
+
+    // Records an absorbed failure on the row (never called under kFail —
+    // the failure rethrows instead).
+    const auto absorb = [&row](const std::exception& err) {
+      row.degraded = true;
+      const auto* typed = dynamic_cast<const SorError*>(&err);
+      row.error_code = static_cast<int>(
+          typed ? typed->code() : ErrorCode::kWorkerFault);
+    };
 
     // 1. Link events land before the epoch's demand is revealed.
     while (next_event < trace.events.size() &&
@@ -234,19 +271,28 @@ ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
       const int e = event_edge.at({ev.u, ev.v});
       if (e < 0) continue;  // defensive: trace loaded against another graph
       const std::size_t ei = static_cast<std::size_t>(e);
-      switch (ev.kind) {
-        case LinkEvent::Kind::kDown:
-          engine.set_edge_capacity(
-              e, std::max(original[ei] * spec.churn.down_factor,
-                          kMinCapacity));
-          break;
-        case LinkEvent::Kind::kUp:
-          engine.set_edge_capacity(e, original[ei]);
-          break;
-        case LinkEvent::Kind::kScale:
-          engine.set_edge_capacity(
-              e, std::max(g.edge(e).capacity * ev.factor, kMinCapacity));
-          break;
+      try {
+        switch (ev.kind) {
+          case LinkEvent::Kind::kDown:
+            engine.set_edge_capacity(
+                e, std::max(original[ei] * spec.churn.down_factor,
+                            kMinCapacity));
+            break;
+          case LinkEvent::Kind::kUp:
+            engine.set_edge_capacity(e, original[ei]);
+            break;
+          case LinkEvent::Kind::kScale:
+            engine.set_edge_capacity(
+                e, std::max(g.edge(e).capacity * ev.factor, kMinCapacity));
+            break;
+        }
+      } catch (const std::exception& err) {
+        if (spec.degrade == DegradePolicy::kFail) throw;
+        absorb(err);
+        if (spec.degrade == DegradePolicy::kSkipEpoch) skip_epoch = true;
+        // kStaleRoute: drop the failing event (capacity unchanged) and
+        // keep serving. Remaining events still apply either way — graph
+        // state must stay consistent for later epochs.
       }
       ++row.link_events;
     }
@@ -257,15 +303,26 @@ ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
 
     // 2. The ReinstallPolicy decides whether this epoch pays for Stage 2.
     if (epoch == 0) {
-      do_install(0, row);
+      try {
+        do_install(0, row);
+        have_install = true;
+      } catch (const std::exception& err) {
+        if (spec.degrade == DegradePolicy::kFail) throw;
+        absorb(err);
+        if (spec.degrade == DegradePolicy::kSkipEpoch) skip_epoch = true;
+        // kStaleRoute with nothing installed yet: the epoch serves zero
+        // coverage, and the drift trigger can heal it at a later epoch.
+      }
     } else {
       // Uncovered volume fraction against the CURRENT (pre-reinstall)
       // installed paths: the on_support_drift trigger input, recorded on
       // every row so checkers can re-derive the trigger decision.
       double covered = 0.0;
-      const PathSystem& installed = engine.paths();
-      for (const auto& [pair, value] : demand.entries()) {
-        if (installed.has_pair(pair.first, pair.second)) covered += value;
+      if (have_install) {
+        const PathSystem& installed = engine.paths();
+        for (const auto& [pair, value] : demand.entries()) {
+          if (installed.has_pair(pair.first, pair.second)) covered += value;
+        }
       }
       row.drift =
           row.offered > 0.0 ? 1.0 - covered / row.offered : 0.0;
@@ -284,47 +341,81 @@ ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
           trigger = row.drift > spec.reinstall.theta;
           break;
       }
-      if (trigger) {
-        do_install(epoch, row);
-        ++report.reinstalls;
+      if (trigger && !skip_epoch) {
+        try {
+          do_install(epoch, row);
+          have_install = true;
+          ++report.reinstalls;
+        } catch (const std::exception& err) {
+          if (spec.degrade == DegradePolicy::kFail) throw;
+          absorb(err);
+          if (spec.degrade == DegradePolicy::kSkipEpoch) {
+            skip_epoch = true;
+          } else if (have_install) {
+            // kStaleRoute: the install faulted BEFORE mutating any state
+            // (SorEngine's contract), so the frozen pre-failure paths are
+            // intact — serve the epoch over them.
+            row.stale = true;
+          }
+        }
       }
     }
 
-    const PathSystem& ps = engine.paths();
-    row.installed_pairs = ps.num_pairs();
-    row.installed_paths = ps.total_paths();
-
-    // 3. Route what the frozen paths can carry; the rest is lost coverage.
-    // Fully-covered epochs (the steady state under every_k:1 or a horizon-0
-    // install) route the trace demand directly: a filtered copy of a
-    // fully-covered demand has identical entries in identical (map) order,
-    // so skipping the copy is bit-identical and keeps the loop alloc-free.
-    bool fully_covered = true;
-    for (const auto& [pair, value] : demand.entries()) {
-      if (!ps.has_pair(pair.first, pair.second)) {
-        fully_covered = false;
-        break;
-      }
+    if (have_install) {
+      const PathSystem& ps_now = engine.paths();
+      row.installed_pairs = ps_now.num_pairs();
+      row.installed_paths = ps_now.total_paths();
     }
-    Demand partial;  // filled only on the (non-steady) partial-coverage path
-    const Demand& routable =
-        fully_covered ? demand
-                      : (partial = demand.filtered([&](int s, int t, double) {
-                           return ps.has_pair(s, t);
-                         }));
-    row.routed = fully_covered ? row.offered : routable.size();
-    row.coverage = row.offered > 0.0 ? row.routed / row.offered : 1.0;
 
-    if (!routable.empty()) {
-      engine.route_into(routable, route_spec, route_report);
-      row.congestion = route_report.congestion;
-      row.ratio = route_report.competitive_ratio;
-      row.route_ms = route_report.times.route_ms;
-      row.optimum_ms = route_report.times.optimum_ms;
-      row.route_allocs = route_report.mem.allocs;
+    if (skip_epoch || !have_install) {
+      // Nothing served this epoch: lost coverage, zero congestion.
+      row.routed = 0.0;
+      row.coverage = row.offered > 0.0 ? 0.0 : 1.0;
+    } else {
+      const PathSystem& ps = engine.paths();
+      // 3. Route what the frozen paths can carry; the rest is lost
+      // coverage. Fully-covered epochs (the steady state under every_k:1
+      // or a horizon-0 install) route the trace demand directly: a
+      // filtered copy of a fully-covered demand has identical entries in
+      // identical (map) order, so skipping the copy is bit-identical and
+      // keeps the loop alloc-free.
+      bool fully_covered = true;
+      for (const auto& [pair, value] : demand.entries()) {
+        if (!ps.has_pair(pair.first, pair.second)) {
+          fully_covered = false;
+          break;
+        }
+      }
+      Demand partial;  // filled only on the (non-steady) partial-coverage path
+      const Demand& routable =
+          fully_covered ? demand
+                        : (partial = demand.filtered([&](int s, int t, double) {
+                             return ps.has_pair(s, t);
+                           }));
+      row.routed = fully_covered ? row.offered : routable.size();
+      row.coverage = row.offered > 0.0 ? row.routed / row.offered : 1.0;
+
+      if (!routable.empty()) {
+        try {
+          engine.route_into(routable, route_spec, route_report);
+          row.congestion = route_report.congestion;
+          row.ratio = route_report.competitive_ratio;
+          row.optimality_gap = route_report.optimality_gap;
+          row.route_ms = route_report.times.route_ms;
+          row.optimum_ms = route_report.times.optimum_ms;
+          row.route_allocs = route_report.mem.allocs;
+        } catch (const std::exception& err) {
+          if (spec.degrade == DegradePolicy::kFail) throw;
+          absorb(err);
+          // A failed route serves nothing, whatever the non-fail policy.
+          row.routed = 0.0;
+          row.coverage = row.offered > 0.0 ? 0.0 : 1.0;
+        }
+      }
     }
     row.arena_ints = engine.mem_stats().arena_ints;
 
+    if (row.degraded) ++report.degraded_epochs;
     report.total_install_ms += row.install_ms;
     report.total_route_ms += row.route_ms;
     report.total_optimum_ms += row.optimum_ms;

@@ -59,6 +59,23 @@ struct ReinstallPolicy {
                          const ReinstallPolicy&) = default;
 };
 
+/// How run_scenario responds when an epoch's work throws — a
+/// fault-injected or organic failure while applying a link event,
+/// reinstalling paths, or routing the epoch demand.
+enum class DegradePolicy {
+  kFail = 0,       ///< rethrow; the scenario dies (the historical behavior)
+  kSkipEpoch = 1,  ///< record the epoch as degraded, serve nothing, move on
+  /// Keep serving: drop the failing link event / keep the frozen
+  /// (pre-failure) PathSystem and still route the epoch over it. A failed
+  /// install leaves `stale = true` on the row — the epoch was served with
+  /// paths the policy wanted to replace.
+  kStaleRoute = 2,
+};
+
+const char* to_string(DegradePolicy policy);
+/// "fail" | "skip_epoch" | "stale_route" -> policy; nullopt otherwise.
+std::optional<DegradePolicy> parse_degrade_policy(const std::string& text);
+
 /// A whole scenario, self-contained (src/io/scenario_io.h gives it a
 /// check-in-and-diff text form; sor_cli --scenario runs it).
 struct ScenarioSpec {
@@ -91,6 +108,11 @@ struct ScenarioSpec {
   LinkChurnSpec churn;
   /// Explicit events, merged with the generated churn (both applied).
   std::vector<LinkEvent> events;
+  /// Failure response of the serving loop (see DegradePolicy).
+  DegradePolicy degrade = DegradePolicy::kFail;
+  /// Anytime budget forwarded to every epoch route (RouteSpec::budget);
+  /// disabled by default — epoch solves run to their round cap.
+  SolveBudget budget;
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
@@ -191,6 +213,18 @@ struct EpochReport {
   /// PathStore arena occupancy (ints) after this epoch's install/compact —
   /// the flat-arena gauge bench_m7_service_memory charts across churn.
   std::size_t arena_ints = 0;
+  /// A DegradePolicy absorbed a failure this epoch (kFail never sets it —
+  /// the scenario rethrows instead).
+  bool degraded = false;
+  /// kStaleRoute only: an install failed and the epoch was served over the
+  /// frozen pre-failure paths.
+  bool stale = false;
+  /// ErrorCode of the absorbed failure as an int, -1 when none (kept an
+  /// int so the report row stays plain data).
+  int error_code = -1;
+  /// Certified anytime gap of the epoch's route (RouteReport::
+  /// optimality_gap); 0 when the solve ran to completion.
+  double optimality_gap = 0.0;
 };
 
 struct ScenarioReport {
@@ -203,6 +237,7 @@ struct ScenarioReport {
   double max_ratio = 0.0;
   double mean_coverage = 1.0;
   double min_coverage = 1.0;
+  int degraded_epochs = 0;    ///< epochs where a DegradePolicy absorbed a failure
 };
 
 /// Drives `engine` across the trace under the spec's ReinstallPolicy. The

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <limits>
 #include <memory>
 
 namespace sor::util {
@@ -15,7 +16,7 @@ thread_local bool tl_in_worker = false;
 }  // namespace
 
 /// Shared per-region state: an atomic work counter every participant pulls
-/// from, a countdown of recruited workers, and the first exception.
+/// from, a countdown of recruited workers, and the lowest-index exception.
 struct ThreadPool::ForState {
   std::size_t n = 0;
   const std::function<void(std::size_t)>* body = nullptr;
@@ -25,19 +26,36 @@ struct ThreadPool::ForState {
   std::condition_variable done;
   std::mutex error_mutex;
   std::exception_ptr error;
+  std::size_t error_at = 0;  ///< index whose exception `error` holds
+  /// Smallest throwing index seen so far (min-CAS); participants stop
+  /// pulling past it.
+  std::atomic<std::size_t> error_index{std::numeric_limits<std::size_t>::max()};
 
-  /// Pulls iterations until the range is exhausted. On an exception the
-  /// counter jumps to the end so other participants stop early.
+  /// Pulls iterations until the range is exhausted or an earlier iteration
+  /// threw. Exception propagation is DETERMINISTIC: the rethrown exception
+  /// is always the one from the smallest throwing index M, regardless of
+  /// schedule. Proof sketch: fetch_add hands indices out in increasing
+  /// order, and error_index only ever holds throwing indices — all >= M —
+  /// so the stop test `i >= error_index` can never skip M; once M throws,
+  /// the min-CAS plus the `i < error_at` guard below make its exception
+  /// the stored one. Every iteration with index < M is likewise pulled
+  /// (and drains) before participants stop.
   void drive() {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= n) return;
+      if (i >= n || i >= error_index.load(std::memory_order_acquire)) return;
       try {
         (*body)(i);
       } catch (...) {
+        std::size_t cur = error_index.load(std::memory_order_relaxed);
+        while (i < cur && !error_index.compare_exchange_weak(
+                              cur, i, std::memory_order_acq_rel)) {
+        }
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        next.store(n);
+        if (!error || i < error_at) {
+          error = std::current_exception();
+          error_at = i;
+        }
       }
     }
   }

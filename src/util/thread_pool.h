@@ -41,10 +41,13 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Runs body(0), ..., body(n-1), work-stealing across the pool plus the
-  /// calling thread, and blocks until every iteration finished. The first
-  /// exception thrown by any iteration is rethrown here (remaining
-  /// iterations are abandoned, in-flight ones drain first). Safe to call
-  /// from inside a worker: nested regions run inline, serially.
+  /// calling thread, and blocks until every iteration finished. Exception
+  /// propagation is deterministic: the exception rethrown here is always
+  /// the one from the SMALLEST throwing index, for every thread count and
+  /// schedule, and every iteration with a smaller index is guaranteed to
+  /// have run (later iterations are abandoned, in-flight ones drain
+  /// first). Safe to call from inside a worker: nested regions run
+  /// inline, serially.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 

@@ -80,6 +80,36 @@ TEST(ThreadPool, ExceptionAbandonsRemainingIterations) {
   EXPECT_LT(executed.load(), 100000 - 1);
 }
 
+TEST(ThreadPool, ExceptionPropagationIsDeterministicLowestIndexWins) {
+  // Two iterations throw; whatever the schedule, the caller must always
+  // see the SMALLEST throwing index's exception, and every iteration
+  // below it must have run. Repeat across pool sizes (1 = inline) and
+  // rounds to give racy schedules a chance to disagree.
+  for (int threads : {1, 2, 4, 8}) {
+    util::ThreadPool pool(threads);
+    for (int round = 0; round < 25; ++round) {
+      constexpr std::size_t kN = 1000;
+      std::vector<std::atomic<int>> ran(kN);
+      try {
+        pool.parallel_for(kN, [&](std::size_t i) {
+          if (i == 3) throw std::runtime_error("boom at 3");
+          if (i == 7) throw std::runtime_error("boom at 7");
+          ran[i].fetch_add(1);
+        });
+        FAIL() << "expected std::runtime_error";
+      } catch (const std::runtime_error& err) {
+        ASSERT_STREQ(err.what(), "boom at 3")
+            << "threads=" << threads << " round=" << round;
+      }
+      // Everything below the winning index ran exactly once.
+      for (std::size_t i = 0; i < 3; ++i) {
+        ASSERT_EQ(ran[i].load(), 1)
+            << "i=" << i << " threads=" << threads << " round=" << round;
+      }
+    }
+  }
+}
+
 TEST(ThreadPool, NestedParallelForIsSafe) {
   util::ThreadPool pool(4);
   constexpr std::size_t kOuter = 16;
