@@ -60,6 +60,7 @@ struct Options {
   std::string demands_file; // stream the batch from a demand-stream file
   bool integral = false;
   bool fast_math = false;
+  bool warm_start = false;  // carry MWU state across serial routes/epochs
   bool mem_stats = false;  // print the service-memory gauges after the run
   std::string dot_path;
   // Scenario mode (either one set => run the scenario engine instead).
@@ -84,8 +85,8 @@ void usage() {
       "[--demand permutation|bitreversal|gravity|pairs]\n"
       "               [--backend SPEC] [--seed S] [--threads N] [--batch B]\n"
       "               [--demands-file FILE] [--shards K] [--aggregate]\n"
-      "               [--integral] [--fast-math] [--mem-stats] [--dot FILE] "
-      "[--list-backends]\n"
+      "               [--integral] [--fast-math] [--warm-start] [--mem-stats] "
+      "[--dot FILE] [--list-backends]\n"
       "               [--fault-plan SPEC] [--solve-budget SPEC] "
       "[--on-error fail|skip]\n"
       "       sor_cli --scenario FILE | --scenario-preset NAME\n"
@@ -94,7 +95,7 @@ void usage() {
       "               [--backend SPEC] [--alpha A] [--mem-stats] "
       "[--scenario-out FILE] [--trace-out FILE]\n"
       "               [--fault-plan SPEC] [--solve-budget SPEC] "
-      "[--degrade fail|skip_epoch|stale_route]\n"
+      "[--degrade fail|skip_epoch|stale_route] [--warm-start]\n"
       "\n"
       "SPEC is a registry name with optional numeric params, e.g.\n"
       "  racke:num_trees=10,eta=6   (see --list-backends)\n"
@@ -113,6 +114,12 @@ void usage() {
       "--fast-math opts the MWU solvers into the relaxed-bit-identity\n"
       "accumulator-sum mode (outputs within 5%% of exact, certificates\n"
       "stay valid; see MinCongestionOptions::fast_math). Off by default.\n"
+      "--warm-start carries MWU solver state across serial routes (and\n"
+      "across scenario epochs): later solves resume from the previous\n"
+      "epoch's adversary weights and typically early-exit in fewer rounds\n"
+      "(see docs/warm-start.md). Serial only — incompatible with --batch,\n"
+      "--demands-file, and --shards. Off by default (cold per-route solves,\n"
+      "bit-identical to builds without the warm subsystem).\n"
       "--mem-stats prints the service-memory gauges after the run: the\n"
       "PathStore arena, live paths, process RSS, and the route call's heap\n"
       "allocation counters (all-zero unless the build defines\n"
@@ -237,6 +244,8 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
       opt.integral = true;
     } else if (!std::strcmp(argv[i], "--fast-math")) {
       opt.fast_math = true;
+    } else if (!std::strcmp(argv[i], "--warm-start")) {
+      opt.warm_start = true;
     } else if (!std::strcmp(argv[i], "--mem-stats")) {
       opt.mem_stats = true;
     } else if (!std::strcmp(argv[i], "--dot")) {
@@ -445,6 +454,7 @@ int run_scenario_mode(const Options& opt) {
     }
     spec.degrade = *policy;
   }
+  if (opt.warm_start) spec.warm_start = true;
   if (!opt.scenario_out.empty()) {
     std::ofstream out(opt.scenario_out);
     if (!out) {
@@ -506,6 +516,18 @@ int run_scenario_mode(const Options& opt) {
     std::printf("%d degraded epoch(s) absorbed under policy %s\n",
                 report.degraded_epochs, scn::to_string(spec.degrade));
   }
+  if (spec.warm_start) {
+    int warm_hits = 0;
+    long long rounds = 0, saved = 0;
+    for (const scn::EpochReport& row : report.epochs) {
+      if (row.warm_hit) ++warm_hits;
+      rounds += row.mwu_rounds;
+      saved += row.rounds_saved;
+    }
+    std::printf("warm starts: %d/%zu epochs seeded, %lld MWU rounds run, "
+                "%lld saved vs cold\n",
+                warm_hits, report.epochs.size(), rounds, saved);
+  }
   if (opt.mem_stats) {
     print_mem_stats(engine);
     // Epoch 0 is warm-up (cold scratch arenas); afterwards a steady-state
@@ -556,6 +578,14 @@ int main(int argc, char** argv) {
                  "error: --reinstall/--epochs/--scenario-out/--trace-out "
                  "need scenario mode (--scenario FILE or --scenario-preset "
                  "NAME)\n");
+    return 1;
+  }
+  if (opt.warm_start &&
+      (opt.batch > 1 || opt.shards > 1 || !opt.demands_file.empty())) {
+    std::fprintf(stderr,
+                 "error: --warm-start is serial-only; it does not combine "
+                 "with --batch/--shards/--demands-file (batch demands have "
+                 "no epoch order)\n");
     return 1;
   }
   sor::Rng rng(opt.seed);
@@ -682,6 +712,7 @@ int main(int argc, char** argv) {
   route_spec.round_integral = opt.integral;
   route_spec.fast_math = opt.fast_math;
   route_spec.budget = budget;
+  route_spec.warm_start = opt.warm_start;
 
   if (opt.batch > 1) {
     sor::BatchSpec batch_spec;

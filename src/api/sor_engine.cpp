@@ -8,8 +8,13 @@
 #include <stdexcept>
 
 #include "fault/fault_plan.h"
+#include "warm/warm_state.h"
 
 namespace sor {
+
+SorEngine::~SorEngine() = default;
+SorEngine::SorEngine(SorEngine&&) noexcept = default;
+SorEngine& SorEngine::operator=(SorEngine&&) noexcept = default;
 
 namespace {
 
@@ -28,6 +33,55 @@ bool is_near_integral(const Demand& d) {
     if (rounded < 0.5 || std::abs(value - rounded) > 1e-6) return false;
   }
   return true;
+}
+
+/// Replay safety: the stored report only stands in for a fresh solve when
+/// every result-shaping knob matches the capture. (The warm/capture
+/// pointers inside mwu are engine-internal and deliberately ignored.)
+bool warm_spec_matches(const RouteSpec& a, const RouteSpec& b) {
+  return a.mwu.rounds == b.mwu.rounds &&
+         a.mwu.target_gap == b.mwu.target_gap &&
+         a.mwu.min_rounds == b.mwu.min_rounds &&
+         a.mwu.budget == b.mwu.budget &&
+         a.mwu.fast_math == b.mwu.fast_math && a.fast_math == b.fast_math &&
+         a.exact == b.exact && a.compute_optimum == b.compute_optimum &&
+         a.compute_lower_bound == b.compute_lower_bound &&
+         a.round_integral == b.round_integral &&
+         a.rounding_trials == b.rounding_trials &&
+         a.simulate_packets == b.simulate_packets && a.policy == b.policy &&
+         a.budget == b.budget;
+}
+
+/// Maps the captured epoch's per-unit integral choices onto the CURRENT
+/// candidate indexing: unit u of commodity j gets the index of its
+/// previously chosen path among ps.refs(s, t), or -1 when that path is no
+/// longer a candidate (round_randomized falls back deterministically).
+void build_rounding_seed(const PathSystem& ps, const Demand& demand,
+                         const warm::ColumnPool& pool,
+                         std::vector<std::vector<int>>& out) {
+  out.clear();
+  out.reserve(demand.entries().size());
+  for (const auto& [pair, value] : demand.entries()) {
+    auto& units = out.emplace_back();
+    const warm::PairColumns* entry = pool.find(pair.first, pair.second);
+    if (entry == nullptr || entry->choices.empty()) continue;
+    const auto refs = ps.refs(pair.first, pair.second);
+    units.reserve(entry->choices.size());
+    for (int choice : entry->choices) {
+      int mapped = -1;
+      if (choice >= 0 &&
+          static_cast<std::size_t>(choice) < entry->columns.size()) {
+        const PathRef prev = entry->columns[static_cast<std::size_t>(choice)].ref;
+        for (std::size_t i = 0; i < refs.size(); ++i) {
+          if (refs[i].offset == prev.offset && refs[i].hops == prev.hops) {
+            mapped = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      units.push_back(mapped);
+    }
+  }
 }
 
 }  // namespace
@@ -121,7 +175,24 @@ void SorEngine::set_edge_capacity(int e, double capacity) {
         "SorEngine::set_edge_capacity: capacity must be > 0 (model a failed "
         "link as a small positive capacity, not 0)");
   }
+  const double old_cap = graph_->edge(e).capacity;
   graph_->set_capacity(e, capacity);
+  // Warm-start delta update (docs/warm-start.md): the captured log-weights
+  // accumulated eta * load/cap increments, so a capacity change rescales
+  // the edge's future congestion pressure by old/new — apply the same
+  // factor to the stored seed. The version bump retires the REPLAY
+  // snapshot (its congestion is stale) while the rescaled seed stays live.
+  ++graph_version_;
+  if (warm_state_ && warm_state_->valid && old_cap > 0.0) {
+    const double ratio = old_cap / capacity;
+    const auto idx = static_cast<std::size_t>(e);
+    if (idx < warm_state_->restricted_log_x.size()) {
+      warm_state_->restricted_log_x[idx] *= ratio;
+    }
+    if (idx < warm_state_->free_log_x.size()) {
+      warm_state_->free_log_x[idx] *= ratio;
+    }
+  }
 }
 
 void SorEngine::rebuild_backend() {
@@ -138,6 +209,10 @@ void SorEngine::rebuild_backend() {
   const auto start = Clock::now();
   backend_ = BackendRegistry::instance().make(*graph_, spec_, rng_);
   build_ms_ = ms_since(start);
+  // A new substrate invalidates every cross-epoch capture: the warm seed's
+  // "nearby instance" premise is gone along with the old routing.
+  if (warm_state_) warm_state_->invalidate();
+  warm_replay_.reset();
 }
 
 SorEngine SorEngine::build(Graph graph, const std::string& spec_text,
@@ -188,6 +263,11 @@ const PathSystem& SorEngine::install_paths(const SamplingSpec& spec) {
     paths_->begin_reinstall();
   } else {
     paths_.emplace(*graph_);
+    // Fresh store: any pooled refs point into the OLD arena, whose offsets
+    // could alias the new one's — retire them outright (the reinstall
+    // branch instead retires via the compaction remap below, where dead
+    // offsets can never alias because sampling appends past the old end).
+    if (warm_state_) warm_state_->columns.clear();
   }
   if (!(spec.pairs.empty() && !spec.all_pairs)) {  // else: explicit empty
     std::vector<std::pair<int, int>> all;
@@ -204,7 +284,14 @@ const PathSystem& SorEngine::install_paths(const SamplingSpec& spec) {
                               *paths_);
     }
   }
-  paths_->compact_store();
+  PathRemap remap;
+  paths_->compact_store(&remap);
+  // Carry the column pool across the reinstall: surviving refs rewrite
+  // through the remap, dropped ones retire their pair's entry. The
+  // edge-level warm seed is untouched — it is version-insensitive to path
+  // churn — but the replay snapshot is retired via the version bump.
+  if (warm_state_) warm_state_->columns.apply_remap(remap);
+  ++paths_version_;
   sample_ms_ = ms_since(start);
   return *paths_;
 }
@@ -244,12 +331,18 @@ void SorEngine::require_installed_pairs(const Demand& demand) const {
 }
 
 RouteReport SorEngine::route(const Demand& demand, const RouteSpec& spec) {
+  if (spec.warm_start) {
+    RouteReport out;
+    route_warm_into(demand, spec, out);
+    return out;
+  }
   require_installed_pairs(demand);
   return route_one(demand, spec, rng_);
 }
 
 RouteReport& SorEngine::route_into(const Demand& demand, const RouteSpec& spec,
                                    RouteReport& out) {
+  if (spec.warm_start) return route_warm_into(demand, spec, out);
   require_installed_pairs(demand);
   if (fault::FaultPlan* plan = active_fault_plan();
       plan && plan->fire_next(fault::Site::kScratchAlloc)) {
@@ -259,6 +352,124 @@ RouteReport& SorEngine::route_into(const Demand& demand, const RouteSpec& spec,
   }
   auto scratch = scratch_pool_.acquire();
   route_one_into(demand, spec, rng_, *scratch, out);
+  return out;
+}
+
+RouteReport& SorEngine::route_warm_into(const Demand& demand,
+                                        const RouteSpec& spec,
+                                        RouteReport& out) {
+  require_installed_pairs(demand);
+  // Same fault site as the cold path, in the same position: warm mode must
+  // not change which injection checkpoints a route visits.
+  if (fault::FaultPlan* plan = active_fault_plan();
+      plan && plan->fire_next(fault::Site::kScratchAlloc)) {
+    throw SorError(ErrorCode::kScratchAlloc, "scratch_pool",
+                   "route: injected scratch-arena allocation failure "
+                   "(fault-plan site scratch_alloc)");
+  }
+  if (!warm_state_) warm_state_ = std::make_unique<warm::WarmStartState>();
+  warm::WarmStartState& st = *warm_state_;
+  const auto m = static_cast<std::size_t>(graph_->num_edges());
+
+  // Routes that draw randomness (rounding, simulation) cannot be replayed:
+  // skipping their rng draws would shift the engine stream relative to a
+  // cold run. Fractional-only routes draw nothing, so replay is stream-safe.
+  const bool replayable =
+      !spec.exact && !spec.round_integral && !spec.simulate_packets;
+
+  // ---- replay fast path: the bit-identical instance ---------------------
+  if (replayable && st.valid && warm_replay_ &&
+      st.graph_version == graph_version_ &&
+      st.paths_version == paths_version_ &&
+      warm_spec_matches(spec, warm_spec_) &&
+      warm::demand_matches(st.demand, demand)) {
+    out = *warm_replay_;
+    out.warm = WarmInfo{};
+    out.warm.enabled = true;
+    out.warm.hit = true;
+    out.warm.replayed = true;
+    out.warm.rounds_saved = st.cold_rounds;
+    out.warm.scale = 1.0;
+    return out;
+  }
+
+  // ---- seed decision ----------------------------------------------------
+  warm::RouteWarmHooks hooks;
+  MwuWarmStart restricted_seed;
+  MwuWarmStart free_seed;
+  std::vector<std::vector<int>> rounding_seed;
+  double scale = 0.0;
+  bool hit = false;
+  if (st.valid && !spec.exact && st.restricted_log_x.size() == m) {
+    scale = warm::support_overlap_scale(st.demand, demand);
+    if (scale > 0.0) {
+      hit = true;
+      restricted_seed.log_x = st.restricted_log_x;
+      restricted_seed.scale = scale;
+      hooks.restricted = &restricted_seed;
+      if (spec.compute_optimum && st.free_log_x.size() == m) {
+        free_seed.log_x = st.free_log_x;
+        free_seed.scale = scale;
+        hooks.free_path = &free_seed;
+      }
+      if ((spec.round_integral || spec.simulate_packets) &&
+          !st.columns.empty()) {
+        build_rounding_seed(*paths_, demand, st.columns, rounding_seed);
+        hooks.rounding_seed = &rounding_seed;
+      }
+    }
+  }
+  if (!spec.exact) {
+    // Captures write after the solvers read their seeds (the seed is copied
+    // into solver scratch at init), so capturing into the same vectors the
+    // seeds alias is safe.
+    hooks.capture_restricted = &st.restricted_log_x;
+    if (spec.compute_optimum) hooks.capture_free = &st.free_log_x;
+  }
+
+  {
+    auto scratch = scratch_pool_.acquire();
+    route_one_into(demand, spec, rng_, *scratch, out, &hooks);
+  }
+
+  // ---- capture ----------------------------------------------------------
+  if (spec.exact) {
+    // The exact-LP path has no MWU endpoint to carry; drop stale captures
+    // rather than seed the next epoch from a different solve's state.
+    st.invalidate();
+    warm_replay_.reset();
+    out.warm = WarmInfo{};
+    out.warm.enabled = true;
+    return out;
+  }
+  st.valid = true;
+  st.graph_version = graph_version_;
+  st.paths_version = paths_version_;
+  demand.entries_into(st.demand);
+  if (!hit) st.cold_rounds = out.solution.rounds_used;
+  st.columns.clear();
+  for (std::size_t j = 0; j < out.solution.commodities.size(); ++j) {
+    const Commodity& c = out.solution.commodities[j];
+    std::span<const int> choices;
+    if (out.integral && j < out.integral->choices.size()) {
+      choices = out.integral->choices[j];
+    }
+    st.columns.record(c.s, c.t, paths_->refs(c.s, c.t),
+                      out.solution.weights[j], choices);
+  }
+  if (replayable) {
+    if (!warm_replay_) warm_replay_ = std::make_unique<RouteReport>();
+    *warm_replay_ = out;
+    warm_spec_ = spec;
+  } else {
+    warm_replay_.reset();
+  }
+  out.warm = WarmInfo{};
+  out.warm.enabled = true;
+  out.warm.hit = hit;
+  out.warm.scale = scale;
+  out.warm.rounds_saved =
+      hit ? std::max(0, st.cold_rounds - out.solution.rounds_used) : 0;
   return out;
 }
 
@@ -281,7 +492,8 @@ RouteReport SorEngine::route_one(const Demand& demand, const RouteSpec& spec,
 
 void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
                                Rng& rng, runtime::EngineScratch& scratch,
-                               RouteReport& out) const {
+                               RouteReport& out,
+                               const warm::RouteWarmHooks* hooks) const {
   const PathSystem& ps = *paths_;
 
   // The probe covers the whole stage-3..5 pipeline on this thread; a warm
@@ -294,6 +506,7 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
   out.optimum.reset();
   out.integral.reset();
   out.simulation.reset();
+  out.warm = WarmInfo{};  // route_warm_into overwrites after this returns
 
   // RouteSpec::fast_math is a convenience alias for mwu.fast_math; either
   // spelling opts the whole route (restricted solve + optimum oracle) in.
@@ -303,14 +516,24 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
   // as fast_math): an enabled spec budget governs the restricted solve and
   // the optimum oracle below.
   if (spec.budget.enabled()) mwu.budget = spec.budget;
+  // Warm hooks split the one option set: each solver gets its own seed and
+  // capture target. Null hooks leave both copies equal to `mwu`.
+  MinCongestionOptions restricted_opts = mwu;
+  MinCongestionOptions optimum_opts = mwu;
+  if (hooks != nullptr) {
+    restricted_opts.warm = hooks->restricted;
+    restricted_opts.capture_log_x = hooks->capture_restricted;
+    optimum_opts.warm = hooks->free_path;
+    optimum_opts.capture_log_x = hooks->capture_free;
+  }
 
   {
     const auto start = Clock::now();
     if (spec.exact) {
       out.solution = route_fractional_exact(*graph_, ps, demand);
     } else {
-      route_fractional_into(*graph_, ps, demand, mwu, scratch.route,
-                            out.solution);
+      route_fractional_into(*graph_, ps, demand, restricted_opts,
+                            scratch.route, out.solution);
     }
     out.times.route_ms = ms_since(start);
   }
@@ -327,7 +550,8 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
   }
   if (spec.compute_optimum) {
     const auto start = Clock::now();
-    out.optimum = optimal_congestion(*graph_, demand, mwu, scratch.optimum);
+    out.optimum =
+        optimal_congestion(*graph_, demand, optimum_opts, scratch.optimum);
     out.times.optimum_ms = ms_since(start);
     lb = std::max(lb, out.optimum->value());
   }
@@ -337,8 +561,9 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
   if ((spec.round_integral || spec.simulate_packets) &&
       is_near_integral(demand)) {
     const auto start = Clock::now();
-    IntegralSolution integral =
-        round_randomized(*graph_, out.solution, rng, spec.rounding_trials);
+    IntegralSolution integral = round_randomized(
+        *graph_, out.solution, rng, spec.rounding_trials,
+        hooks != nullptr ? hooks->rounding_seed : nullptr);
     local_search_improve(*graph_, integral);
     out.times.rounding_ms = ms_since(start);
     out.integral = std::move(integral);

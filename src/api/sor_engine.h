@@ -84,6 +84,11 @@ namespace fault {
 class FaultPlan;
 }  // namespace fault
 
+namespace warm {
+struct WarmStartState;
+struct RouteWarmHooks;
+}  // namespace warm
+
 /// Stage 2 knobs: how to alpha-sample the candidate PathSystem.
 struct SamplingSpec {
   int alpha = 4;
@@ -140,6 +145,19 @@ struct RouteSpec {
   /// disabled (default) routing is bit-identical to a build without it.
   /// Exposed as `sor_cli --solve-budget`.
   SolveBudget budget;
+  /// Opt-in cross-epoch warm starts (default OFF; docs/warm-start.md is the
+  /// contract). When on, the engine captures each route's MWU endpoint
+  /// (adversary log-weights, column pool, integral choices) and seeds the
+  /// NEXT route from it: a bit-identical instance replays the stored
+  /// report outright; a nearby instance resumes both MWU solvers from the
+  /// damped prior iterate and seeds rounding from the prior integral
+  /// solution. Certificates stay cross-valid exactly as under fast_math —
+  /// warm starts only move the starting iterate, never the certificate
+  /// discipline. With warm_start off, routing is bit-identical to a build
+  /// without this field (RouteReport.warm is the only delta, and it is
+  /// all-zero). Serial route()/route_into() only; route_batch rejects it.
+  /// Exposed as `sor_cli --warm-start`.
+  bool warm_start = false;
 };
 
 /// Wall-clock per pipeline stage, milliseconds.
@@ -150,6 +168,22 @@ struct StageTimes {
   double optimum_ms = 0.0;   ///< offline-optimum solve
   double rounding_ms = 0.0;  ///< integral rounding + local search
   double sim_ms = 0.0;       ///< packet simulation
+};
+
+/// Warm-start outcome of one route (RouteReport.warm). All-zero on cold
+/// routes (RouteSpec::warm_start off) and on the first warm-enabled route
+/// of a serving sequence.
+struct WarmInfo {
+  bool enabled = false;   ///< RouteSpec::warm_start was on
+  bool hit = false;       ///< a previous epoch's captured state seeded this solve
+  bool replayed = false;  ///< bit-identical instance: stored report returned
+  /// max(0, cold_rounds - rounds_used): restricted-MWU rounds this solve
+  /// saved vs the most recent unseeded solve of the sequence. replayed
+  /// routes report the full cold_rounds.
+  int rounds_saved = 0;
+  /// Damping applied to the seeded log-weights (the demand volume-overlap
+  /// factor; 1 = identical demand, 0 = disjoint support / no seed).
+  double scale = 0.0;
 };
 
 /// Everything route() learned about one revealed demand.
@@ -187,6 +221,9 @@ struct RouteReport {
   /// steady-state route reports 0 allocs, the contract
   /// bench_m7_service_memory gates.
   runtime::AllocCounters mem;
+
+  /// Warm-start outcome (all-zero unless RouteSpec::warm_start).
+  WarmInfo warm;
 };
 
 /// What route_batch does when a demand fails — during ingest (malformed
@@ -412,6 +449,15 @@ class SorEngine {
   /// rounding draw from it in order).
   Rng& rng() { return rng_; }
 
+  /// The cross-epoch warm-start capture, or nullptr before the first
+  /// warm-enabled route (and after rebuild_backend()). Introspection for
+  /// tests/benches; include warm/warm_state.h to dereference.
+  const warm::WarmStartState* warm_state() const { return warm_state_.get(); }
+
+  ~SorEngine();
+  SorEngine(SorEngine&&) noexcept;
+  SorEngine& operator=(SorEngine&&) noexcept;
+
  private:
   SorEngine() = default;
 
@@ -422,8 +468,17 @@ class SorEngine {
                         Rng& rng) const;
   /// The real stage-3..5 implementation: all working state in `scratch`,
   /// the report refilled in place. route_one/route/route_into wrap this.
+  /// `hooks` (warm starts only; see warm/warm_state.h) carries the MWU
+  /// seeds/captures and the rounding seed — null on every cold route, and
+  /// a null-hook call is bit-identical to a build without the parameter.
   void route_one_into(const Demand& demand, const RouteSpec& spec, Rng& rng,
-                      runtime::EngineScratch& scratch, RouteReport& out) const;
+                      runtime::EngineScratch& scratch, RouteReport& out,
+                      const warm::RouteWarmHooks* hooks = nullptr) const;
+  /// The warm-start orchestration route_into() dispatches to when
+  /// RouteSpec::warm_start is set: replay / seed decision, the seeded
+  /// route_one_into call, and the post-route capture.
+  RouteReport& route_warm_into(const Demand& demand, const RouteSpec& spec,
+                               RouteReport& out);
   void require_installed_pairs(const Demand& demand) const;
   /// The pool sized to threads_, created on first parallel use (nullptr
   /// while threads_ == 1).
@@ -475,6 +530,22 @@ class SorEngine {
   std::vector<DemandError> batch_slot_errors_;
   /// Engine-scoped fault plan (see set_fault_plan).
   std::shared_ptr<fault::FaultPlan> fault_plan_;
+  // ---- cross-epoch warm-start state (src/warm/) ------------------------
+  // Engine-owned like the scratch pool, but unlike scratch it carries
+  // results ACROSS routes — so it only exists (and is only touched) when a
+  // route opts in via RouteSpec::warm_start; cold routes stay bit-identical
+  // to a build without it.
+  std::unique_ptr<warm::WarmStartState> warm_state_;
+  /// Stored report of the captured route, returned verbatim when the next
+  /// warm route is the bit-identical instance (same demand, versions, spec).
+  std::unique_ptr<RouteReport> warm_replay_;
+  /// The spec the replay snapshot was captured under.
+  RouteSpec warm_spec_;
+  /// Bumped by set_edge_capacity / install_paths; a version mismatch
+  /// disables replay (the stored report is stale) while the edge-level
+  /// log-weight seed survives (rescaled in place on capacity edits).
+  std::uint64_t graph_version_ = 0;
+  std::uint64_t paths_version_ = 0;
   double build_ms_ = 0.0;
   double sample_ms_ = 0.0;
 };

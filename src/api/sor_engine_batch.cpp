@@ -93,6 +93,12 @@ BatchReport SorEngine::route_batch(scale::DemandSource& source,
         "aggregate_duplicates=true — a raw batch without reports computes "
         "nothing the aggregated one does not");
   }
+  if (spec.warm_start) {
+    throw std::invalid_argument(
+        "route_batch: warm_start is a serial route()/route_into() feature — "
+        "batch demands have no epoch order for a previous-solve capture to "
+        "be 'previous' in");
+  }
   const bool needs_streams = spec.round_integral || spec.simulate_packets;
   if (bspec.aggregate_duplicates && needs_streams) {
     throw std::invalid_argument(

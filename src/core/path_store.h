@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,14 @@ class PathRemap {
   /// The re-based ref (same hops, slid-down offset). Asserts that `ref`
   /// was in the compaction's live set.
   PathRef operator()(PathRef ref) const;
+
+  /// Non-asserting lookup for holders of refs that may NOT have been in the
+  /// live set (the cross-epoch warm-start column pool): the re-based ref
+  /// when `ref` survived the compaction, nullopt when its slab was dropped.
+  /// A reinstall appends fresh slabs past the old arena end before
+  /// compacting, so a previous generation's offsets can never collide with
+  /// a surviving slab's pre-compaction offset.
+  std::optional<PathRef> try_remap(PathRef ref) const;
 
   std::size_t live_paths() const { return from_.size(); }
 

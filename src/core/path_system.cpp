@@ -53,7 +53,7 @@ void PathSystem::begin_reinstall() {
   // after re-sampling reclaims the dead prefix in place.
 }
 
-std::size_t PathSystem::compact_store() {
+std::size_t PathSystem::compact_store(PathRemap* out_remap) {
   if (store_.graph() == nullptr) return 0;
   const std::size_t before = store_.arena_size();
   // Gather live refs in ORDERED pair-map order so the compacted layout (and
@@ -64,10 +64,11 @@ std::size_t PathSystem::compact_store() {
   for (const auto& [pair, list] : paths_) {
     for (PathRef ref : refs(pair.first, pair.second)) live.push_back(ref);
   }
-  const PathRemap remap = store_.compact(live);
+  PathRemap remap = store_.compact(live);
   for (auto& [key, refs] : refs_) {
     for (PathRef& ref : refs) ref = remap(ref);
   }
+  if (out_remap != nullptr) *out_remap = std::move(remap);
   return before - store_.arena_size();
 }
 

@@ -109,8 +109,11 @@ class PathSystem {
   /// through the remap. Layout is deterministic — live slabs are gathered
   /// by iterating the ORDERED pair map, not the unordered ref index — so a
   /// fixed seed still yields a bit-identical arena. No-op for unbound
-  /// systems. Returns the number of ints reclaimed.
-  std::size_t compact_store();
+  /// systems. Returns the number of ints reclaimed. A non-null `out_remap`
+  /// receives the compaction's remap so OUTSIDE holders of refs into the
+  /// store (the warm-start column pool) can rewrite — or retire — theirs
+  /// through PathRemap::try_remap.
+  std::size_t compact_store(PathRemap* out_remap = nullptr);
 
  private:
   static std::int64_t pair_key(int s, int t) {

@@ -52,7 +52,8 @@ double integral_congestion(const Graph& g, IntegralSolution& solution) {
 
 IntegralSolution round_randomized(const Graph& g,
                                   const SemiObliviousSolution& fractional,
-                                  Rng& rng, int trials) {
+                                  Rng& rng, int trials,
+                                  const std::vector<std::vector<int>>* seed_choices) {
   assert(trials >= 1);
   IntegralSolution best;
   best.commodities = fractional.commodities;
@@ -60,6 +61,44 @@ IntegralSolution round_randomized(const Graph& g,
   best.congestion = std::numeric_limits<double>::infinity();
 
   const FlatCandidates flat = flatten_candidates(g, fractional.paths);
+
+  // Warm-start seed candidate (no rng consumed; see header contract). The
+  // random trials below start from this as the incumbent, so the returned
+  // solution is never worse than the seeded previous-epoch assignment.
+  if (seed_choices != nullptr) {
+    IntegralSolution seeded;
+    seeded.commodities = fractional.commodities;
+    seeded.paths = fractional.paths;
+    seeded.choices.resize(fractional.commodities.size());
+    for (std::size_t j = 0; j < fractional.commodities.size(); ++j) {
+      const int units = static_cast<int>(
+          std::llround(fractional.commodities[j].amount));
+      const int num_cands = static_cast<int>(flat.num_paths(j));
+      if (units > 0 && num_cands == 0) continue;
+      // Deterministic fallback for unseeded/invalid units: the
+      // highest-fractional-weight candidate (first index on ties).
+      int fallback = 0;
+      for (int i = 1; i < num_cands; ++i) {
+        if (fractional.weights[j][static_cast<std::size_t>(i)] >
+            fractional.weights[j][static_cast<std::size_t>(fallback)]) {
+          fallback = i;
+        }
+      }
+      seeded.choices[j].reserve(static_cast<std::size_t>(units));
+      for (int u = 0; u < units; ++u) {
+        int pick = fallback;
+        if (j < seed_choices->size() &&
+            static_cast<std::size_t>(u) < (*seed_choices)[j].size()) {
+          const int prev = (*seed_choices)[j][static_cast<std::size_t>(u)];
+          if (prev >= 0 && prev < num_cands) pick = prev;
+        }
+        seeded.choices[j].push_back(pick);
+      }
+    }
+    integral_congestion(g, flat, seeded);
+    best = std::move(seeded);
+  }
+
   for (int trial = 0; trial < trials; ++trial) {
     IntegralSolution candidate;
     candidate.commodities = fractional.commodities;

@@ -30,9 +30,18 @@ double integral_congestion(const Graph& g, IntegralSolution& solution);
 /// candidate proportional to the fractional weights; the best of `trials`
 /// independent roundings is returned. Requires an integral demand (amounts
 /// are rounded to nearest integers).
-IntegralSolution round_randomized(const Graph& g,
-                                  const SemiObliviousSolution& fractional,
-                                  Rng& rng, int trials = 8);
+///
+/// `seed_choices` (optional, warm start): per-commodity per-unit candidate
+/// indices from a previous epoch's integral solution. When non-null, one
+/// extra deterministic candidate is evaluated BEFORE the random trials —
+/// each unit takes its seeded index when it is still a valid candidate,
+/// else the argmax-fractional-weight candidate — and the random trials must
+/// strictly beat it. No rng draw is spent on the seed, and a null seed is
+/// bit-identical to a build without this parameter.
+IntegralSolution round_randomized(
+    const Graph& g, const SemiObliviousSolution& fractional, Rng& rng,
+    int trials = 8,
+    const std::vector<std::vector<int>>* seed_choices = nullptr);
 
 /// Greedy local search: repeatedly move one unit off a maximum-congestion
 /// edge onto an alternative candidate if that strictly reduces the load

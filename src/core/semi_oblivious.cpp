@@ -21,6 +21,7 @@ SemiObliviousSolution assemble(const Graph& g,
   solution.lower_bound = result.lower_bound;
   solution.status = result.status;
   solution.optimality_gap = result.optimality_gap;
+  solution.rounds_used = result.rounds_used;
   solution.max_hops = 0;
   for (std::size_t j = 0; j < solution.paths.size(); ++j) {
     for (std::size_t i = 0; i < solution.paths[j].size(); ++i) {
@@ -95,6 +96,7 @@ void route_fractional_into(const Graph& g, const PathSystem& ps,
   out.lower_bound = result.lower_bound;
   out.status = result.status;
   out.optimality_gap = result.optimality_gap;
+  out.rounds_used = result.rounds_used;
   out.max_hops = 0;
   for (std::size_t j = 0; j < out.paths.size(); ++j) {
     for (std::size_t i = 0; i < out.paths[j].size(); ++i) {

@@ -26,6 +26,9 @@ struct SemiObliviousSolution {
   /// the MWU solve stopped and the certified gap vs its own dual bound.
   SolveStatus status = SolveStatus::kCompleted;
   double optimality_gap = 0.0;
+  /// MWU rounds the solve consumed (the warm-start rounds-saved currency;
+  /// 0 for the exact-LP path, which has no round structure).
+  int rounds_used = 0;
 };
 
 /// Routes `d` over `ps` with the MWU engine. Every support pair of `d` must

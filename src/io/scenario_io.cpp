@@ -116,6 +116,7 @@ void write_scenario(std::ostream& out, const ScenarioSpec& spec) {
     out << "degrade " << scenario::to_string(spec.degrade) << '\n';
   }
   if (spec.budget.enabled()) out << "budget " << spec.budget.to_string() << '\n';
+  if (spec.warm_start) out << "warm_start 1\n";
   out << "model " << spec.model.to_string() << '\n';
   out << "churn " << churn_to_string(spec.churn) << '\n';
   for (const LinkEvent& ev : spec.events) write_event(out, ev);
@@ -175,6 +176,12 @@ std::optional<ScenarioSpec> read_scenario(std::istream& in) {
       }
       (key == "measure_ratio" ? spec.measure_ratio : spec.rebuild_backend) =
           flag == 1;
+    } else if (key == "warm_start") {
+      int flag = 0;
+      if (!(ls >> flag) || !fully_consumed(ls) || (flag != 0 && flag != 1)) {
+        return std::nullopt;
+      }
+      spec.warm_start = flag == 1;
     } else if (key == "reinstall") {
       std::string text;
       if (!(ls >> text) || !fully_consumed(ls)) return std::nullopt;

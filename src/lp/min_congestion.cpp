@@ -284,6 +284,26 @@ void min_congestion_over_paths_into(const Graph& g,
   double max_log = 0.0;           // max over all-zero log_x
   double cached_max_log = std::numeric_limits<double>::quiet_NaN();
 
+  // ---- warm start (opt-in; see MwuWarmStart) -----------------------------
+  // Seeding only replaces the adversary's starting log-weights; the NaN
+  // cached_max_log above already forces the round-0 exp refresh to walk the
+  // seeded active set, so both the exact and fast-math normalization paths
+  // pick the seed up without further special-casing. A null/mismatched/
+  // zero-scaled seed leaves every vector exactly as the cold solve built it.
+  if (options.warm != nullptr && options.warm->scale > 0.0 &&
+      options.warm->log_x.size() == m) {
+    const double scale = options.warm->scale;
+    for (std::size_t e = 0; e < m; ++e) {
+      const double seeded = options.warm->log_x[e] * scale;
+      if (seeded > 0.0 && std::isfinite(seeded)) {
+        log_x[e] = seeded;
+        is_active[e] = 1;
+        active.push_back(static_cast<int>(e));
+        max_log = std::max(max_log, seeded);
+      }
+    }
+  }
+
   const double eta =
       std::sqrt(std::log(static_cast<double>(m) + 2.0) /
                 static_cast<double>(std::max(options.rounds, 1)));
@@ -613,6 +633,12 @@ void min_congestion_over_paths_into(const Graph& g,
   out.congestion = congestion_of_weights(g, commodities, candidates,
                                          out.path_weights, &out.edge_load);
   out.optimality_gap = certified_gap(out.congestion, out.lower_bound);
+
+  // Capture half of the warm-start cycle: hand the final adversary state to
+  // the caller (capacity-retaining assign; results above are unaffected).
+  if (options.capture_log_x != nullptr) {
+    options.capture_log_x->assign(log_x.begin(), log_x.end());
+  }
 }
 
 CongestionResult min_congestion_over_paths(
@@ -777,6 +803,21 @@ void min_congestion_free_into(const Graph& g,
   touched.reserve(m);
   double max_log = 0.0;           // max over all-zero log_x
   double cached_max_log = std::numeric_limits<double>::quiet_NaN();
+
+  // ---- warm start (opt-in; same contract as the restricted solver) -------
+  if (options.warm != nullptr && options.warm->scale > 0.0 &&
+      options.warm->log_x.size() == m) {
+    const double scale = options.warm->scale;
+    for (std::size_t e = 0; e < m; ++e) {
+      const double seeded = options.warm->log_x[e] * scale;
+      if (seeded > 0.0 && std::isfinite(seeded)) {
+        log_x[e] = seeded;
+        is_active[e] = 1;
+        active.push_back(static_cast<int>(e));
+        max_log = std::max(max_log, seeded);
+      }
+    }
+  }
 
   // Dijkstra scratch, reused across every (source, round), and the flat
   // CSR adjacency snapshot the relaxation scans run on. The snapshot is
@@ -1027,6 +1068,10 @@ void min_congestion_free_into(const Graph& g,
   out.rounds_used = round;
   out.status = status;
   out.optimality_gap = certified_gap(out.congestion, out.lower_bound);
+
+  if (options.capture_log_x != nullptr) {
+    options.capture_log_x->assign(log_x.begin(), log_x.end());
+  }
 }
 
 CongestionResult min_congestion_free(const Graph& g,

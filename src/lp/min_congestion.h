@@ -85,11 +85,39 @@ const char* to_string(SolveStatus status);
 /// deadline is set).
 inline constexpr int kDeadlineCheckRounds = 16;
 
+/// Warm-start seed for an MWU solve: the adversary's final log-weights from
+/// a previous solve of a nearby instance, optionally damped by `scale`.
+///
+/// Contract (docs/warm-start.md):
+///  * Seeding only changes the solver's STARTING iterate. The returned
+///    congestion is still the exact congestion of the routing actually
+///    averaged, and the dual bound is still a valid lower bound on opt, so
+///    warm and cold results of the same instance cross-validate exactly like
+///    fast_math: lower_warm <= congestion_cold and lower_cold <=
+///    congestion_warm.
+///  * `log_x` must have one entry per edge of the solved graph and every
+///    entry must be finite and >= 0 (MWU log-weights only grow from 0).
+///    A size mismatch is ignored (the solve runs cold).
+///  * `scale` in [0, 1] damps the seed; 0 reproduces the cold solve
+///    bit-identically.
+struct MwuWarmStart {
+  std::span<const double> log_x;
+  double scale = 1.0;
+};
+
 struct MinCongestionOptions {
   int rounds = 800;          ///< MWU iterations
   double target_gap = 1.02;  ///< stop early once upper/lower <= target_gap
   int min_rounds = 50;
   SolveBudget budget;        ///< anytime budget; default = disabled
+  /// Optional warm-start seed (see MwuWarmStart). Null = cold solve; the
+  /// cold path is bit-identical to a build without this field.
+  const MwuWarmStart* warm = nullptr;
+  /// When non-null, the solver's final per-edge adversary log-weights are
+  /// assigned into this vector (capacity retained) just before returning —
+  /// the capture half of the warm-start cycle. Null = no capture; results
+  /// are unaffected either way.
+  std::vector<double>* capture_log_x = nullptr;
   /// Opt-in fast-math mode (default OFF). Replaces the reference loop's
   /// O(m)-per-round serial total-sum of the adversary weights with a
   /// segmented accumulator sum — in the restricted solver the untouched-edge

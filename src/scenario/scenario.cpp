@@ -233,6 +233,7 @@ ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
   route_spec.compute_lower_bound = spec.measure_ratio;
   if (spec.mwu_rounds > 0) route_spec.mwu.rounds = spec.mwu_rounds;
   if (spec.budget.enabled()) route_spec.budget = spec.budget;
+  route_spec.warm_start = spec.warm_start;
 
   ScenarioReport report;
   report.epochs.reserve(static_cast<std::size_t>(epochs));
@@ -404,6 +405,9 @@ ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
           row.route_ms = route_report.times.route_ms;
           row.optimum_ms = route_report.times.optimum_ms;
           row.route_allocs = route_report.mem.allocs;
+          row.mwu_rounds = route_report.solution.rounds_used;
+          row.rounds_saved = route_report.warm.rounds_saved;
+          row.warm_hit = route_report.warm.hit;
         } catch (const std::exception& err) {
           if (spec.degrade == DegradePolicy::kFail) throw;
           absorb(err);

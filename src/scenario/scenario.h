@@ -113,6 +113,10 @@ struct ScenarioSpec {
   /// Anytime budget forwarded to every epoch route (RouteSpec::budget);
   /// disabled by default — epoch solves run to their round cap.
   SolveBudget budget;
+  /// Forwarded to every epoch route (RouteSpec::warm_start): carry MWU
+  /// log-weights / columns across epochs (docs/warm-start.md). Off keeps
+  /// the historical cold-per-epoch serving loop bit-identically.
+  bool warm_start = false;
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
@@ -225,6 +229,14 @@ struct EpochReport {
   /// Certified anytime gap of the epoch's route (RouteReport::
   /// optimality_gap); 0 when the solve ran to completion.
   double optimality_gap = 0.0;
+  /// MWU rounds the epoch's restricted solve actually ran
+  /// (RouteReport::solution.rounds_used; 0 for exact/degraded epochs).
+  int mwu_rounds = 0;
+  /// Warm-start accounting (zeros unless ScenarioSpec::warm_start):
+  /// rounds the warm seed saved vs the last cold solve, and whether the
+  /// epoch's route was seeded at all (RouteReport::warm).
+  int rounds_saved = 0;
+  bool warm_hit = false;
 };
 
 struct ScenarioReport {

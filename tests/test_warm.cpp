@@ -1,0 +1,462 @@
+// Cross-epoch warm starts (src/warm/, docs/warm-start.md): cold-path
+// bit-identity, replay of bit-identical instances, seeded solves under
+// churn with cross-valid certificates, invalidation rules
+// (rebuild_backend, capacity edits, reinstalls), ColumnPool lifetime
+// through PathStore compaction, scenario-level accounting, and the
+// route_batch rejection.
+#include "warm/warm_state.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "api/sor_engine.h"
+#include "graph/generators.h"
+#include "io/scenario_io.h"
+#include "scale/demand_source.h"
+#include "scenario/scenario.h"
+#include "warm/column_pool.h"
+
+namespace sor {
+namespace {
+
+SorEngine make_engine(std::uint64_t seed = 7) {
+  return SorEngine::build(gen::grid(4, 4, true), "racke:num_trees=3", seed);
+}
+
+Demand breathing_demand(double scale) {
+  // Fixed support, breathing volumes — the diurnal regime warm starts
+  // are built for.
+  Demand d;
+  d.set(0, 5, 2.0 * scale);
+  d.set(1, 10, 1.5 * scale);
+  d.set(3, 12, 1.0 * scale);
+  d.set(7, 2, 2.5 * scale);
+  d.set(9, 14, 1.0 * scale);
+  return d;
+}
+
+/// Everything deterministic must match bit-for-bit (wall-times and the
+/// warm outcome fields excepted — the latter are checked by each test).
+void expect_routes_identical(const RouteReport& a, const RouteReport& b) {
+  EXPECT_EQ(a.congestion, b.congestion);
+  EXPECT_EQ(a.solution.congestion, b.solution.congestion);
+  EXPECT_EQ(a.solution.lower_bound, b.solution.lower_bound);
+  EXPECT_EQ(a.solution.rounds_used, b.solution.rounds_used);
+  ASSERT_EQ(a.solution.weights.size(), b.solution.weights.size());
+  for (std::size_t j = 0; j < a.solution.weights.size(); ++j) {
+    ASSERT_EQ(a.solution.weights[j].size(), b.solution.weights[j].size());
+    for (std::size_t i = 0; i < a.solution.weights[j].size(); ++i) {
+      EXPECT_EQ(a.solution.weights[j][i], b.solution.weights[j][i]);
+    }
+  }
+  ASSERT_EQ(a.solution.edge_load.size(), b.solution.edge_load.size());
+  for (std::size_t e = 0; e < a.solution.edge_load.size(); ++e) {
+    EXPECT_EQ(a.solution.edge_load[e], b.solution.edge_load[e]);
+  }
+  EXPECT_EQ(a.opt_lower_bound, b.opt_lower_bound);
+  EXPECT_EQ(a.competitive_ratio, b.competitive_ratio);
+  ASSERT_EQ(a.optimum.has_value(), b.optimum.has_value());
+  if (a.optimum) {
+    EXPECT_EQ(a.optimum->lower, b.optimum->lower);
+    EXPECT_EQ(a.optimum->upper, b.optimum->upper);
+  }
+  ASSERT_EQ(a.integral.has_value(), b.integral.has_value());
+  if (a.integral) {
+    EXPECT_EQ(a.integral->congestion, b.integral->congestion);
+    EXPECT_EQ(a.integral->choices, b.integral->choices);
+  }
+}
+
+TEST(WarmStart, ColdRouteIsUntouchedByPriorWarmRoutes) {
+  // Engine A: warm, warm, then COLD. Engine B (same seed): nothing but the
+  // one cold route. The cold route must not read any warm state.
+  const Demand d1 = breathing_demand(1.0);
+  const Demand d2 = breathing_demand(0.6);
+
+  SorEngine warm_engine = make_engine();
+  warm_engine.install_paths(SamplingSpec::for_demand(d1, 3));
+  RouteSpec warm_spec;
+  warm_spec.warm_start = true;
+  warm_engine.route(d1, warm_spec);
+  warm_engine.route(d2, warm_spec);
+  const RouteReport after_warm = warm_engine.route(d2, RouteSpec{});
+
+  SorEngine cold_engine = make_engine();
+  cold_engine.install_paths(SamplingSpec::for_demand(d1, 3));
+  cold_engine.route(d1, RouteSpec{});
+  cold_engine.route(d2, RouteSpec{});
+  const RouteReport cold = cold_engine.route(d2, RouteSpec{});
+
+  expect_routes_identical(after_warm, cold);
+  EXPECT_FALSE(after_warm.warm.enabled);
+  EXPECT_FALSE(after_warm.warm.hit);
+  EXPECT_EQ(after_warm.warm.rounds_saved, 0);
+}
+
+TEST(WarmStart, FirstWarmRouteIsColdEquivalentAndCaptures) {
+  const Demand d = breathing_demand(1.0);
+  SorEngine a = make_engine();
+  a.install_paths(SamplingSpec::for_demand(d, 3));
+  RouteSpec warm_spec;
+  warm_spec.warm_start = true;
+  const RouteReport warm = a.route(d, warm_spec);
+
+  SorEngine b = make_engine();
+  b.install_paths(SamplingSpec::for_demand(d, 3));
+  const RouteReport cold = b.route(d, RouteSpec{});
+
+  // No prior capture: the first warm-enabled route IS the cold solve.
+  expect_routes_identical(warm, cold);
+  EXPECT_TRUE(warm.warm.enabled);
+  EXPECT_FALSE(warm.warm.hit);
+  EXPECT_EQ(warm.warm.rounds_saved, 0);
+
+  ASSERT_NE(a.warm_state(), nullptr);
+  EXPECT_TRUE(a.warm_state()->valid);
+  EXPECT_EQ(a.warm_state()->cold_rounds, cold.solution.rounds_used);
+  EXPECT_FALSE(a.warm_state()->columns.empty());
+  EXPECT_EQ(a.warm_state()->restricted_log_x.size(),
+            static_cast<std::size_t>(a.graph().num_edges()));
+}
+
+TEST(WarmStart, IdenticalInstanceReplaysBitIdentically) {
+  const Demand d = breathing_demand(1.0);
+  SorEngine engine = make_engine();
+  engine.install_paths(SamplingSpec::for_demand(d, 3));
+  RouteSpec spec;
+  spec.warm_start = true;
+  const RouteReport first = engine.route(d, spec);
+  const RouteReport second = engine.route(d, spec);
+
+  EXPECT_TRUE(second.warm.replayed);
+  EXPECT_TRUE(second.warm.hit);
+  EXPECT_EQ(second.warm.rounds_saved, first.solution.rounds_used);
+  expect_routes_identical(first, second);
+}
+
+TEST(WarmStart, SpecChangeDisablesReplayButStillSeeds) {
+  const Demand d = breathing_demand(1.0);
+  SorEngine engine = make_engine();
+  engine.install_paths(SamplingSpec::for_demand(d, 3));
+  RouteSpec spec;
+  spec.warm_start = true;
+  engine.route(d, spec);
+
+  RouteSpec changed = spec;
+  changed.mwu.rounds = 700;  // not the captured spec -> no verbatim replay
+  const RouteReport second = engine.route(d, changed);
+  EXPECT_FALSE(second.warm.replayed);
+  EXPECT_TRUE(second.warm.hit);
+  EXPECT_DOUBLE_EQ(second.warm.scale, 1.0);
+}
+
+TEST(WarmStart, SeededSolveUnderChurnHasCrossValidCertificates) {
+  const Demand d1 = breathing_demand(1.0);
+  const Demand d2 = breathing_demand(0.5);  // same support, half volume
+
+  SorEngine warm_engine = make_engine();
+  warm_engine.install_paths(SamplingSpec::for_demand(d1, 3));
+  RouteSpec spec;
+  spec.warm_start = true;
+  warm_engine.route(d1, spec);
+  const RouteReport warm = warm_engine.route(d2, spec);
+
+  SorEngine cold_engine = make_engine();
+  cold_engine.install_paths(SamplingSpec::for_demand(d1, 3));
+  const RouteReport cold = cold_engine.route(d2, RouteSpec{});
+
+  EXPECT_TRUE(warm.warm.hit);
+  EXPECT_FALSE(warm.warm.replayed);
+  EXPECT_GT(warm.warm.scale, 0.0);
+  EXPECT_LE(warm.warm.scale, 1.0);
+
+  // Both runs are exact certificates of the SAME restricted LP: each
+  // congestion is the exact congestion of its returned weights, and each
+  // dual lower bound is valid regardless of the starting iterate — so the
+  // bounds cross-validate.
+  const double tol = 1e-9;
+  EXPECT_LE(warm.solution.lower_bound, cold.congestion * (1.0 + tol));
+  EXPECT_LE(cold.solution.lower_bound, warm.congestion * (1.0 + tol));
+  EXPECT_GE(warm.congestion, warm.solution.lower_bound * (1.0 - tol));
+  EXPECT_GE(cold.congestion, cold.solution.lower_bound * (1.0 - tol));
+}
+
+TEST(WarmStart, BreathingVolumesSaveRounds) {
+  // The headline: across a breathing-volume sequence the warm engine's
+  // total restricted-MWU rounds undercut the cold engine's.
+  const double phases[] = {1.0, 0.7, 0.5, 0.8, 1.2, 0.9};
+  SorEngine warm_engine = make_engine();
+  SorEngine cold_engine = make_engine();
+  warm_engine.install_paths(SamplingSpec::for_demand(breathing_demand(1.0), 3));
+  cold_engine.install_paths(SamplingSpec::for_demand(breathing_demand(1.0), 3));
+  RouteSpec warm_spec;
+  warm_spec.warm_start = true;
+
+  long long warm_rounds = 0, cold_rounds = 0, saved = 0;
+  for (const double phase : phases) {
+    const Demand d = breathing_demand(phase);
+    const RouteReport w = warm_engine.route(d, warm_spec);
+    const RouteReport c = cold_engine.route(d, RouteSpec{});
+    warm_rounds += w.solution.rounds_used;
+    cold_rounds += c.solution.rounds_used;
+    saved += w.warm.rounds_saved;
+  }
+  EXPECT_LT(warm_rounds, cold_rounds);
+  EXPECT_GT(saved, 0);
+}
+
+TEST(WarmStart, RebuildBackendInvalidatesCapture) {
+  const Demand d = breathing_demand(1.0);
+  SorEngine engine = make_engine();
+  engine.install_paths(SamplingSpec::for_demand(d, 3));
+  RouteSpec spec;
+  spec.warm_start = true;
+  engine.route(d, spec);
+  ASSERT_NE(engine.warm_state(), nullptr);
+  ASSERT_TRUE(engine.warm_state()->valid);
+
+  engine.rebuild_backend();
+  EXPECT_FALSE(engine.warm_state()->valid);
+
+  // Next warm route starts cold (no hit), then captures again.
+  const RouteReport after = engine.route(d, spec);
+  EXPECT_FALSE(after.warm.hit);
+  EXPECT_EQ(after.warm.rounds_saved, 0);
+  EXPECT_TRUE(engine.warm_state()->valid);
+}
+
+TEST(WarmStart, CapacityEditDisablesReplayKeepsRescaledSeed) {
+  const Demand d = breathing_demand(1.0);
+  SorEngine engine = make_engine();
+  engine.install_paths(SamplingSpec::for_demand(d, 3));
+  RouteSpec spec;
+  spec.warm_start = true;
+  engine.route(d, spec);
+
+  engine.set_edge_capacity(0, 2.0 * engine.graph().edge(0).capacity);
+  const RouteReport warm = engine.route(d, spec);
+  EXPECT_FALSE(warm.warm.replayed);  // stored report is stale
+  EXPECT_TRUE(warm.warm.hit);        // edge-level seed survives, rescaled
+
+  SorEngine cold_engine = make_engine();
+  cold_engine.install_paths(SamplingSpec::for_demand(d, 3));
+  cold_engine.set_edge_capacity(0, 2.0 * cold_engine.graph().edge(0).capacity);
+  const RouteReport cold = cold_engine.route(d, RouteSpec{});
+  const double tol = 1e-9;
+  EXPECT_LE(warm.solution.lower_bound, cold.congestion * (1.0 + tol));
+  EXPECT_LE(cold.solution.lower_bound, warm.congestion * (1.0 + tol));
+}
+
+TEST(WarmStart, ReinstallEmptiesPoolButEdgeSeedSurvives) {
+  const Demand d = breathing_demand(1.0);
+  SorEngine engine = make_engine();
+  engine.install_paths(SamplingSpec::for_demand(d, 3));
+  RouteSpec spec;
+  spec.warm_start = true;
+  engine.route(d, spec);
+  ASSERT_FALSE(engine.warm_state()->columns.empty());
+
+  // Full reinstall: every old slab dies, the pool legitimately empties —
+  // but the edge-level log-weight seed is path-churn-insensitive.
+  engine.install_paths(SamplingSpec::for_demand(d, 3));
+  EXPECT_TRUE(engine.warm_state()->columns.empty());
+  EXPECT_TRUE(engine.warm_state()->valid);
+
+  const RouteReport warm = engine.route(d, spec);
+  EXPECT_FALSE(warm.warm.replayed);  // paths_version moved on
+  EXPECT_TRUE(warm.warm.hit);
+}
+
+TEST(WarmStart, RoundingSeededFromPreviousIntegralSolution) {
+  // Integral demand so rounding runs; the second warm route must seed the
+  // rounding from the captured choices and still produce a valid integral
+  // routing no worse than its own fractional baseline would allow.
+  Demand d;
+  d.set(0, 5, 1.0);
+  d.set(1, 10, 1.0);
+  d.set(3, 12, 1.0);
+  SorEngine engine = make_engine();
+  engine.install_paths(SamplingSpec::for_demand(d, 3));
+  RouteSpec spec;
+  spec.warm_start = true;
+  spec.round_integral = true;
+  const RouteReport first = engine.route(d, spec);
+  ASSERT_TRUE(first.integral.has_value());
+
+  Demand d2 = d;
+  d2.set(0, 5, 1.0 + 1e-9);  // not bit-identical -> no replay, real solve
+  const RouteReport second = engine.route(d2, spec);
+  EXPECT_TRUE(second.warm.hit);
+  EXPECT_FALSE(second.warm.replayed);
+  ASSERT_TRUE(second.integral.has_value());
+  // The seeded candidate is evaluated as trial 0: the result can only be
+  // as good or better than the first epoch's rounding.
+  EXPECT_LE(second.integral->congestion, first.integral->congestion);
+}
+
+TEST(WarmStart, RouteBatchRejectsWarmStart) {
+  const Demand d = breathing_demand(1.0);
+  SorEngine engine = make_engine();
+  engine.install_paths(SamplingSpec::for_demand(d, 3));
+  RouteSpec spec;
+  spec.warm_start = true;
+  const std::vector<Demand> demands{d, d};
+  EXPECT_THROW(engine.route_batch(demands, spec), std::invalid_argument);
+}
+
+TEST(WarmStart, SupportOverlapScaleIsTheDocumentedFormula) {
+  Demand prev_demand;
+  prev_demand.set(0, 1, 2.0);
+  prev_demand.set(2, 3, 2.0);
+  std::vector<DemandEntry> prev;
+  prev_demand.entries_into(prev);
+
+  Demand same;
+  same.set(0, 1, 2.0);
+  same.set(2, 3, 2.0);
+  EXPECT_DOUBLE_EQ(warm::support_overlap_scale(prev, same), 1.0);
+
+  Demand half;
+  half.set(0, 1, 1.0);
+  half.set(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(warm::support_overlap_scale(prev, half), 0.5);
+
+  Demand disjoint;
+  disjoint.set(4, 5, 2.0);
+  disjoint.set(6, 7, 2.0);
+  EXPECT_DOUBLE_EQ(warm::support_overlap_scale(prev, disjoint), 0.0);
+
+  const Demand empty;
+  EXPECT_DOUBLE_EQ(warm::support_overlap_scale(prev, empty), 0.0);
+  EXPECT_DOUBLE_EQ(warm::support_overlap_scale({}, same), 0.0);
+}
+
+// ---- ColumnPool x PathStore lifetime ----------------------------------
+
+TEST(ColumnPool, RecordFindAndRemapThroughCompaction) {
+  const Graph g = gen::grid(3, 3, true);
+  PathStore store(g);
+  const PathRef a = store.intern(Path{0, 1, 2});
+  const PathRef b = store.intern(Path{0, 3, 6});
+  const PathRef c = store.intern(Path{0, 1, 4});
+
+  warm::ColumnPool pool;
+  const PathRef live_refs[] = {b, c};
+  const double weights[] = {0.25, 0.75};
+  const int choices[] = {1, 1, 0};
+  pool.record(0, 4, live_refs, weights, choices);
+  const PathRef dead_refs[] = {a};
+  const double dead_weights[] = {1.0};
+  pool.record(0, 2, dead_refs, dead_weights, {});
+  EXPECT_EQ(pool.num_pairs(), 2u);
+  EXPECT_EQ(pool.num_columns(), 3u);
+
+  const warm::PairColumns* found = pool.find(0, 4);
+  ASSERT_NE(found, nullptr);
+  ASSERT_EQ(found->columns.size(), 2u);
+  EXPECT_DOUBLE_EQ(found->columns[1].weight, 0.75);
+  ASSERT_EQ(found->choices.size(), 3u);
+  EXPECT_EQ(pool.find(4, 0), nullptr);
+
+  // Compact away `a`: the (0, 2) entry dies wholesale, (0, 4) survives
+  // with slid-down refs reading the same bytes.
+  const PathRef live[] = {b, c};
+  const PathRemap remap = store.compact(live);
+  pool.apply_remap(remap);
+  EXPECT_EQ(pool.num_pairs(), 1u);
+  EXPECT_EQ(pool.find(0, 2), nullptr);
+  const warm::PairColumns* survived = pool.find(0, 4);
+  ASSERT_NE(survived, nullptr);
+  const Path read_back = store.to_path(survived->columns[1].ref);
+  EXPECT_EQ(read_back, (Path{0, 1, 4}));
+}
+
+TEST(ColumnPool, TryRemapDropsDeadRefsWithoutAsserting) {
+  const Graph g = gen::grid(3, 3, true);
+  PathStore store(g);
+  const PathRef a = store.intern(Path{0, 1, 2});
+  const PathRef b = store.intern(Path{0, 3, 6});
+  const PathRef live[] = {b};
+  const PathRemap remap = store.compact(live);
+  EXPECT_FALSE(remap.try_remap(a).has_value());
+  const auto moved = remap.try_remap(b);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(moved->hops, b.hops);
+  EXPECT_EQ(store.to_path(*moved), (Path{0, 3, 6}));
+}
+
+// ---- scenario + io plumbing -------------------------------------------
+
+scenario::ScenarioSpec warm_scenario_spec() {
+  scenario::ScenarioSpec spec;
+  spec.name = "test_warm";
+  spec.topology = "torus";
+  spec.size = 4;
+  spec.backend = "racke:num_trees=3";
+  spec.seed = 11;
+  spec.epochs = 6;
+  spec.alpha = 3;
+  spec.measure_ratio = false;
+  spec.model = *scenario::TrafficModelSpec::parse(
+      "diurnal_gravity:total=32,amplitude=0.5,period=4,max_pairs=24");
+  spec.warm_start = true;
+  return spec;
+}
+
+TEST(WarmScenario, EpochReportsCarryWarmAccounting) {
+  const scenario::ScenarioSpec spec = warm_scenario_spec();
+  SorEngine engine = scenario::build_scenario_engine(spec);
+  const auto trace = scenario::generate_trace(engine.graph(), spec);
+  const auto report = scenario::run_scenario(engine, spec, trace);
+
+  ASSERT_EQ(report.epochs.size(), 6u);
+  EXPECT_FALSE(report.epochs[0].warm_hit);  // nothing captured yet
+  long long saved = 0;
+  int hits = 0;
+  for (const auto& row : report.epochs) {
+    EXPECT_GT(row.mwu_rounds, 0);
+    saved += row.rounds_saved;
+    hits += row.warm_hit ? 1 : 0;
+  }
+  EXPECT_GT(hits, 0);
+  EXPECT_GT(saved, 0);
+}
+
+TEST(WarmScenario, WarmOffScenarioReportsZeroWarmFields) {
+  scenario::ScenarioSpec spec = warm_scenario_spec();
+  spec.warm_start = false;
+  SorEngine engine = scenario::build_scenario_engine(spec);
+  const auto trace = scenario::generate_trace(engine.graph(), spec);
+  const auto report = scenario::run_scenario(engine, spec, trace);
+  for (const auto& row : report.epochs) {
+    EXPECT_FALSE(row.warm_hit);
+    EXPECT_EQ(row.rounds_saved, 0);
+    EXPECT_GT(row.mwu_rounds, 0);  // rounds are reported warm or cold
+  }
+}
+
+TEST(WarmScenario, SpecKeyRoundTripsAndDefaultStaysByteStable) {
+  scenario::ScenarioSpec spec = warm_scenario_spec();
+  std::stringstream on;
+  io::write_scenario(on, spec);
+  EXPECT_NE(on.str().find("warm_start 1"), std::string::npos);
+  const auto back = io::read_scenario(on);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->warm_start);
+  EXPECT_EQ(*back, spec);
+
+  spec.warm_start = false;
+  std::stringstream off;
+  io::write_scenario(off, spec);
+  // Default off: the key is absent, so pre-warm specs round-trip
+  // byte-identically.
+  EXPECT_EQ(off.str().find("warm_start"), std::string::npos);
+  const auto back_off = io::read_scenario(off);
+  ASSERT_TRUE(back_off.has_value());
+  EXPECT_FALSE(back_off->warm_start);
+}
+
+}  // namespace
+}  // namespace sor

@@ -113,7 +113,12 @@ def numeric(value):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="The full bench matrix — what every M*/T* harness measures, "
+               "which phases each CI job gates with which flags, and the "
+               "baseline-refresh procedure — lives in docs/benchmarks.md.")
     parser.add_argument("--fresh", required=True,
                         help="bench JSON produced by this run")
     parser.add_argument("--baseline", default=None,

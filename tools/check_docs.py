@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Docs link checker: the CI `docs` job's one gate.
+
+Scans README.md, ROADMAP.md, and every docs/*.md for markdown links and
+checks, stdlib-only (CHANGES.md is deliberately out of scope: it is a
+prose build log whose inline code snippets — `foo[_bar](args)` — false-
+positive as links):
+
+  1. every RELATIVE link (path, optionally #anchor) resolves to an existing
+     file or directory, from the linking file's own directory — a renamed
+     or deleted page fails the build instead of 404ing a reader;
+  2. the README <-> docs/ index is bidirectional: every page under docs/
+     must be linked from README.md at least once (a page nobody can reach
+     from the front door is a doc rot bug), and every README link into
+     docs/ must exist (covered by check 1, reported under the same gate).
+
+External links (http/https/mailto) are not fetched — this gate must be
+hermetic and deterministic. Links inside fenced code blocks are ignored.
+Relative links that escape the repository root (GitHub web-relative URLs
+like the CI badge's ../../actions/...) are skipped: they address the
+forge, not the tree.
+
+Exit code 0 = all checks pass, 1 = any failure (each printed with
+file:line), 2 = usage error. Run from anywhere: paths resolve against the
+repository root (this script's parent's parent).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — inline links and images; target ends at ')' or space
+# (titles like [t](x "y") keep only the path part).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_sources(root):
+    """The files whose links are gated, in deterministic order."""
+    files = []
+    for name in ("README.md", "ROADMAP.md"):
+        p = root / name
+        if p.is_file():
+            files.append(p)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def links_of(path):
+    """Yields (line_number, target) for every link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main():
+    root = Path(__file__).resolve().parent.parent
+    sources = markdown_sources(root)
+    if not sources:
+        print("check_docs: no markdown sources found (wrong root?)")
+        return 2
+
+    failures = []
+    readme_doc_targets = set()
+
+    for src in sources:
+        for lineno, target in links_of(src):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (src.parent / target_path).resolve()
+            try:
+                rel = resolved.relative_to(root)
+            except ValueError:
+                # Escapes the repo: a forge-relative URL (badge), not a file.
+                continue
+            if not resolved.exists():
+                failures.append(f"{src.relative_to(root)}:{lineno}: "
+                                f"broken link -> {target_path}")
+            elif src.name == "README.md" and rel.parts[:1] == ("docs",):
+                readme_doc_targets.add(rel)
+
+    # Bidirectional index: every docs/ page reachable from README.
+    for page in sorted((root / "docs").glob("*.md")):
+        rel = page.relative_to(root)
+        if rel not in readme_doc_targets:
+            failures.append(f"README.md: docs page {rel} is never linked "
+                            "(add it to the README docs index)")
+
+    for f in failures:
+        print(f"check_docs: {f}")
+    n_links = "docs index bidirectional" if not failures else \
+        f"{len(failures)} failure(s)"
+    print(f"check_docs: {'OK' if not failures else 'FAIL'} — "
+          f"{len(sources)} files scanned, {n_links}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
