@@ -31,6 +31,9 @@
 #include "api/sor_engine.h"
 #include "fault/fault_plan.h"
 #include "graph/generators.h"
+#include "obs/convergence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "io/demand_stream.h"
 #include "io/scenario_io.h"
 #include "io/serialization.h"
@@ -69,7 +72,11 @@ struct Options {
   std::string reinstall_override;  // "never" / "every_k:3" / ...
   int epochs_override = 0;         // > 0 overrides the spec
   std::string scenario_out;        // dump the effective spec (editable)
-  std::string trace_out;           // dump the materialized trace
+  std::string scenario_trace_out;  // dump the materialized scenario trace
+  // Observability sinks (see docs/observability.md).
+  std::string trace_json;       // Chrome trace_event JSON of the whole run
+  std::string metrics_out;      // Prometheus-style metrics exposition
+  std::string convergence_out;  // per-round MWU convergence CSV (serial)
   // Robustness knobs (see README "Robustness & anytime solves").
   std::string fault_plan;    // installed as the process-global FaultPlan
   std::string solve_budget;  // SolveBudget spec for every solve
@@ -89,13 +96,16 @@ void usage() {
       "[--dot FILE] [--list-backends]\n"
       "               [--fault-plan SPEC] [--solve-budget SPEC] "
       "[--on-error fail|skip]\n"
+      "               [--trace-json FILE] [--metrics-out FILE] "
+      "[--convergence-out FILE]\n"
       "       sor_cli --scenario FILE | --scenario-preset NAME\n"
       "               [--reinstall POLICY] [--epochs E] [--seed S] "
       "[--threads N]\n"
       "               [--backend SPEC] [--alpha A] [--mem-stats] "
-      "[--scenario-out FILE] [--trace-out FILE]\n"
+      "[--scenario-out FILE] [--scenario-trace-out FILE]\n"
       "               [--fault-plan SPEC] [--solve-budget SPEC] "
       "[--degrade fail|skip_epoch|stale_route] [--warm-start]\n"
+      "               [--trace-json FILE] [--metrics-out FILE]\n"
       "\n"
       "SPEC is a registry name with optional numeric params, e.g.\n"
       "  racke:num_trees=10,eta=6   (see --list-backends)\n"
@@ -129,9 +139,22 @@ void usage() {
       "with link events under a reinstall policy (never / every_k:K /\n"
       "on_link_event / on_support_drift:THETA). Presets: diurnal,\n"
       "failover, flashcrowd, storm. --scenario-out dumps the effective\n"
-      "spec for hand-editing (reload it with --scenario); --trace-out\n"
-      "dumps the materialized trace (reload programmatically via\n"
-      "src/io/scenario_io.h read_trace).\n"
+      "spec for hand-editing (reload it with --scenario);\n"
+      "--scenario-trace-out dumps the materialized demand/event trace\n"
+      "(reload programmatically via src/io/scenario_io.h read_trace).\n"
+      "--trace-out is a deprecated alias for --scenario-trace-out and will\n"
+      "be removed; it collided with the Chrome trace below.\n"
+      "\n"
+      "Observability (docs/observability.md; off by default — outputs are\n"
+      "bit-identical with every sink disabled):\n"
+      "--trace-json FILE records scoped spans across the whole run (build,\n"
+      "install, route stages, scenario epochs, warm-start events, fault\n"
+      "fires) into a Chrome trace_event JSON loadable in chrome://tracing\n"
+      "or Perfetto. --metrics-out FILE writes the engine's service counters\n"
+      "and gauges as Prometheus text exposition. --convergence-out FILE\n"
+      "writes the serial route's per-round MWU telemetry (congestion, dual\n"
+      "bound, certified gap, touched edges) as CSV — serial one-shot mode\n"
+      "only (--batch 1, no --demands-file).\n"
       "\n"
       "Robustness: --fault-plan installs a deterministic fault-injection\n"
       "plan, e.g. \"seed=7;worker_throw@3;stream_read%%100\" (sites:\n"
@@ -218,10 +241,33 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
       const char* v = next("--scenario-out");
       if (!v) return false;
       opt.scenario_out = v;
+    } else if (!std::strcmp(argv[i], "--scenario-trace-out")) {
+      const char* v = next("--scenario-trace-out");
+      if (!v) return false;
+      opt.scenario_trace_out = v;
     } else if (!std::strcmp(argv[i], "--trace-out")) {
+      // Deprecated alias: "trace" now means the Chrome span trace
+      // (--trace-json); the scenario demand/event trace moved to
+      // --scenario-trace-out.
       const char* v = next("--trace-out");
       if (!v) return false;
-      opt.trace_out = v;
+      std::fprintf(stderr,
+                   "warning: --trace-out is deprecated; use "
+                   "--scenario-trace-out (scenario demand/event trace) or "
+                   "--trace-json (Chrome span trace)\n");
+      opt.scenario_trace_out = v;
+    } else if (!std::strcmp(argv[i], "--trace-json")) {
+      const char* v = next("--trace-json");
+      if (!v) return false;
+      opt.trace_json = v;
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      const char* v = next("--metrics-out");
+      if (!v) return false;
+      opt.metrics_out = v;
+    } else if (!std::strcmp(argv[i], "--convergence-out")) {
+      const char* v = next("--convergence-out");
+      if (!v) return false;
+      opt.convergence_out = v;
     } else if (!std::strcmp(argv[i], "--threads")) {
       const char* v = next("--threads");
       if (!v) return false;
@@ -321,6 +367,34 @@ bool parse(int argc, char** argv, Options& opt, bool& exit_ok) {
   return true;
 }
 
+/// Flush the observability sinks at the end of a successful run (both
+/// modes). The tracer was armed in main() before the engine was built, so
+/// the exported timeline covers build/install as well as serving.
+int finish_observability(const Options& opt, const sor::SorEngine& engine) {
+  if (!opt.trace_json.empty()) {
+    std::ofstream out(opt.trace_json);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.trace_json.c_str());
+      return 1;
+    }
+    sor::obs::TraceRecorder& rec = sor::obs::tracer();
+    rec.write_chrome_json(out);
+    std::printf("wrote Chrome trace (%zu span/instant event(s)) to %s\n",
+                rec.size(), opt.trace_json.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    std::ofstream out(opt.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.metrics_out.c_str());
+      return 1;
+    }
+    engine.metrics().write_prometheus(out);
+    std::printf("wrote metrics exposition to %s\n", opt.metrics_out.c_str());
+  }
+  return 0;
+}
+
 /// --mem-stats: the engine-side service-memory gauges, shared by both
 /// modes. Allocation counters print as "off" when the build does not
 /// interpose operator new (sanitizer builds, -DSOR_ALLOC_STATS=OFF).
@@ -379,11 +453,12 @@ int run_scenario_mode(const Options& opt) {
   if (opt.topology_set || opt.size_set || opt.demand_set || opt.batch > 1 ||
       opt.shards > 1 || opt.aggregate || !opt.demands_file.empty() ||
       opt.integral || opt.fast_math || !opt.dot_path.empty() ||
-      !opt.on_error.empty()) {
+      !opt.on_error.empty() || !opt.convergence_out.empty()) {
     std::fprintf(stderr,
                  "error: --topology/--size/--demand/--batch/--shards/"
                  "--aggregate/--demands-file/--integral/"
-                 "--fast-math/--dot/--on-error do not apply to scenario mode "
+                 "--fast-math/--dot/--on-error/--convergence-out do not "
+                 "apply to scenario mode "
                  "(set them in the spec; --backend/--alpha/--seed/--epochs/"
                  "--reinstall/--degrade/--solve-budget/--threads override "
                  "it)\n");
@@ -476,16 +551,17 @@ int run_scenario_mode(const Options& opt) {
       spec.model.to_string().c_str(), spec.reinstall.to_string().c_str());
 
   const scn::ScenarioTrace trace = scn::generate_trace(engine.graph(), spec);
-  if (!opt.trace_out.empty()) {
-    std::ofstream out(opt.trace_out);
+  if (!opt.scenario_trace_out.empty()) {
+    std::ofstream out(opt.scenario_trace_out);
     if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n", opt.trace_out.c_str());
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.scenario_trace_out.c_str());
       return 1;
     }
     sor::io::write_trace(out, trace);
-    std::printf("wrote trace (%zu epochs, %zu events) to %s\n",
+    std::printf("wrote scenario trace (%zu epochs, %zu events) to %s\n",
                 trace.demands.size(), trace.events.size(),
-                opt.trace_out.c_str());
+                opt.scenario_trace_out.c_str());
   }
 
   const scn::ScenarioReport report = scn::run_scenario(engine, spec, trace);
@@ -543,7 +619,7 @@ int run_scenario_mode(const Options& opt) {
     std::printf("route allocs: %llu at epoch 0 (warm-up), max %llu after\n",
                 warmup, steady_max);
   }
-  return 0;
+  return finish_observability(opt, engine);
 }
 
 }  // namespace
@@ -552,6 +628,9 @@ int main(int argc, char** argv) {
   Options opt;
   bool exit_ok = false;
   if (!parse(argc, argv, opt, exit_ok)) return exit_ok ? 0 : 1;
+  // Arm the span recorder before anything else runs so the exported
+  // timeline starts at the engine build, not at the first route.
+  if (!opt.trace_json.empty()) sor::obs::tracer().enable();
   if (!opt.fault_plan.empty()) {
     auto plan = sor::fault::FaultPlan::parse(opt.fault_plan);
     if (!plan) {
@@ -573,11 +652,19 @@ int main(int argc, char** argv) {
   // Mirror of run_scenario_mode's conflict check: scenario-only flags in
   // one-shot mode mean the user forgot --scenario/--scenario-preset.
   if (!opt.reinstall_override.empty() || opt.epochs_override > 0 ||
-      !opt.scenario_out.empty() || !opt.trace_out.empty()) {
+      !opt.scenario_out.empty() || !opt.scenario_trace_out.empty()) {
     std::fprintf(stderr,
-                 "error: --reinstall/--epochs/--scenario-out/--trace-out "
-                 "need scenario mode (--scenario FILE or --scenario-preset "
-                 "NAME)\n");
+                 "error: --reinstall/--epochs/--scenario-out/"
+                 "--scenario-trace-out need scenario mode (--scenario FILE "
+                 "or --scenario-preset NAME)\n");
+    return 1;
+  }
+  if (!opt.convergence_out.empty() &&
+      (opt.batch > 1 || !opt.demands_file.empty())) {
+    std::fprintf(stderr,
+                 "error: --convergence-out records the serial route's "
+                 "per-round telemetry; it does not combine with --batch/"
+                 "--demands-file\n");
     return 1;
   }
   if (opt.warm_start &&
@@ -672,7 +759,7 @@ int main(int argc, char** argv) {
                   batch.num_failed, batch.errors.size());
     }
     if (opt.mem_stats) print_mem_stats(engine);
-    return 0;
+    return finish_observability(opt, engine);
   }
 
   const int n = engine.graph().num_vertices();
@@ -713,6 +800,7 @@ int main(int argc, char** argv) {
   route_spec.fast_math = opt.fast_math;
   route_spec.budget = budget;
   route_spec.warm_start = opt.warm_start;
+  route_spec.record_convergence = !opt.convergence_out.empty();
 
   if (opt.batch > 1) {
     sor::BatchSpec batch_spec;
@@ -767,10 +855,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "(--dot ignored: per-demand load drawing needs --batch 1)\n");
     }
-    return 0;
+    return finish_observability(opt, engine);
   }
 
   const sor::RouteReport report = engine.route(d, route_spec);
+  if (!opt.convergence_out.empty()) {
+    std::ofstream out(opt.convergence_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.convergence_out.c_str());
+      return 1;
+    }
+    sor::obs::write_convergence_csv(out, report.convergence);
+    std::printf("wrote %zu convergence record(s) to %s\n",
+                report.convergence.size(), opt.convergence_out.c_str());
+  }
   std::printf("fractional congestion: %.4f\n", report.congestion);
   if (route_spec.budget.enabled()) {
     std::printf("solve status: %s, certified optimality gap <= %.4f\n",
@@ -806,7 +905,7 @@ int main(int argc, char** argv) {
     sor::io::write_dot(out, engine.graph(), &report.solution.edge_load);
     std::printf("wrote %s (loads as penwidth)\n", opt.dot_path.c_str());
   }
-  return 0;
+  return finish_observability(opt, engine);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "warm/warm_state.h"
 
 namespace sor {
@@ -49,7 +51,8 @@ bool warm_spec_matches(const RouteSpec& a, const RouteSpec& b) {
          a.round_integral == b.round_integral &&
          a.rounding_trials == b.rounding_trials &&
          a.simulate_packets == b.simulate_packets && a.policy == b.policy &&
-         a.budget == b.budget;
+         a.budget == b.budget &&
+         a.record_convergence == b.record_convergence;
 }
 
 /// Maps the captured epoch's per-unit integral choices onto the CURRENT
@@ -136,6 +139,7 @@ SorEngine SorEngine::build(Graph graph, const BackendSpec& spec,
     effective.params["threads"] = static_cast<double>(threads);
   }
   engine.spec_ = effective;
+  const obs::TraceSpan span("build", "engine");
   const auto start = Clock::now();
   engine.backend_ = registry.make(*engine.graph_, effective, engine.rng_);
   engine.build_ms_ = ms_since(start);
@@ -175,6 +179,8 @@ void SorEngine::set_edge_capacity(int e, double capacity) {
         "SorEngine::set_edge_capacity: capacity must be > 0 (model a failed "
         "link as a small positive capacity, not 0)");
   }
+  obs::service_counters().capacity_edits.fetch_add(1,
+                                                   std::memory_order_relaxed);
   const double old_cap = graph_->edge(e).capacity;
   graph_->set_capacity(e, capacity);
   // Warm-start delta update (docs/warm-start.md): the captured log-weights
@@ -206,6 +212,8 @@ void SorEngine::rebuild_backend() {
       spec_.params.erase("threads");
     }
   }
+  obs::service_counters().rebuilds.fetch_add(1, std::memory_order_relaxed);
+  const obs::TraceSpan span("rebuild", "engine");
   const auto start = Clock::now();
   backend_ = BackendRegistry::instance().make(*graph_, spec_, rng_);
   build_ms_ = ms_since(start);
@@ -248,6 +256,8 @@ const PathSystem& SorEngine::install_paths(const SamplingSpec& spec) {
   if (spec.alpha < 1) {
     throw std::invalid_argument("install_paths: alpha must be >= 1");
   }
+  obs::service_counters().installs.fetch_add(1, std::memory_order_relaxed);
+  const obs::TraceSpan span("install", "engine");
   const auto start = Clock::now();
   util::ThreadPool* workers = pool();
   // Reinstall into the EXISTING system when one is bound to our graph:
@@ -307,6 +317,82 @@ SorEngine::MemStats SorEngine::mem_stats() const {
   }
   stats.rss_bytes = runtime::rss_bytes();
   return stats;
+}
+
+obs::MetricsRegistry SorEngine::metrics() const {
+  using std::memory_order_relaxed;
+  obs::MetricsRegistry reg;
+  const obs::ServiceCounters& c = obs::service_counters();
+  reg.counter("sor_routes_served_total", c.routes_served.load(memory_order_relaxed),
+              "route/route_into calls served (process-wide)");
+  reg.counter("sor_mwu_rounds_total", c.mwu_rounds.load(memory_order_relaxed),
+              "restricted-MWU rounds paid across all routes");
+  reg.counter("sor_batches_total", c.batches.load(memory_order_relaxed),
+              "route_batch calls");
+  reg.counter("sor_batch_demands_total",
+              c.batch_demands.load(memory_order_relaxed),
+              "demands pulled across all batches");
+  reg.counter("sor_batch_failed_total",
+              c.batch_failed.load(memory_order_relaxed),
+              "demands skipped under on_error=skip_and_report");
+  reg.counter("sor_installs_total", c.installs.load(memory_order_relaxed),
+              "install_paths calls");
+  reg.counter("sor_rebuilds_total", c.rebuilds.load(memory_order_relaxed),
+              "rebuild_backend calls");
+  reg.counter("sor_capacity_edits_total",
+              c.capacity_edits.load(memory_order_relaxed),
+              "set_edge_capacity link events applied");
+  reg.counter("sor_warm_hits_total", c.warm_hits.load(memory_order_relaxed),
+              "warm routes seeded by a previous capture");
+  reg.counter("sor_warm_replays_total",
+              c.warm_replays.load(memory_order_relaxed),
+              "bit-identical instances served from the replay snapshot");
+  reg.counter("sor_warm_rounds_saved_total",
+              c.warm_rounds_saved.load(memory_order_relaxed),
+              "MWU rounds warm starts saved vs the cold reference");
+  reg.counter("sor_scenario_epochs_total",
+              c.scenario_epochs.load(memory_order_relaxed),
+              "scenario epochs served");
+  reg.counter("sor_degraded_epochs_total",
+              c.degraded_epochs.load(memory_order_relaxed),
+              "epochs served degraded (DegradePolicy skip/stale)");
+  reg.counter("sor_scenario_reinstalls_total",
+              c.scenario_reinstalls.load(memory_order_relaxed),
+              "epochs whose ReinstallPolicy triggered a reinstall");
+  reg.counter("sor_fault_fires_total",
+              c.fault_fires.load(memory_order_relaxed),
+              "injected faults triggered (all sites)");
+  reg.histogram("sor_route_ms", c.route_ms,
+                "wall milliseconds per route_one call");
+
+  // Engine memory gauges. "Absent, never 0" discipline for anything this
+  // build/platform cannot measure: a reader must not mistake "no data"
+  // for "measured zero".
+  const MemStats ms = mem_stats();
+  reg.gauge("sor_paths_arena_ints", static_cast<double>(ms.arena_ints),
+            "live PathStore arena size, in ints");
+  reg.gauge("sor_paths_arena_capacity_ints",
+            static_cast<double>(ms.arena_capacity),
+            "PathStore arena capacity, in ints");
+  reg.gauge("sor_paths_live", static_cast<double>(ms.live_paths),
+            "interned paths currently live");
+  reg.gauge("sor_installed_pairs", static_cast<double>(ms.installed_pairs),
+            "pairs with >= 1 installed candidate path");
+  if (ms.rss_bytes > 0) {
+    reg.gauge("sor_rss_bytes", static_cast<double>(ms.rss_bytes),
+              "process resident set size");
+  }
+  if (runtime::counting_compiled()) {
+    const runtime::AllocCounters alloc = runtime::thread_counters();
+    reg.gauge("sor_thread_allocs", static_cast<double>(alloc.allocs),
+              "operator new calls on the exposing thread since start");
+    reg.gauge("sor_thread_frees", static_cast<double>(alloc.frees),
+              "operator delete calls on the exposing thread since start");
+    reg.gauge("sor_thread_alloc_bytes",
+              static_cast<double>(alloc.alloc_bytes),
+              "bytes requested through operator new on the exposing thread");
+  }
+  return reg;
 }
 
 const PathSystem& SorEngine::paths() const {
@@ -383,6 +469,15 @@ RouteReport& SorEngine::route_warm_into(const Demand& demand,
       st.paths_version == paths_version_ &&
       warm_spec_matches(spec, warm_spec_) &&
       warm::demand_matches(st.demand, demand)) {
+    const obs::TraceSpan span("replay", "warm");
+    obs::ServiceCounters& counters = obs::service_counters();
+    // A replay IS a served route; it just skips the solve.
+    counters.routes_served.fetch_add(1, std::memory_order_relaxed);
+    counters.warm_hits.fetch_add(1, std::memory_order_relaxed);
+    counters.warm_replays.fetch_add(1, std::memory_order_relaxed);
+    counters.warm_rounds_saved.fetch_add(
+        static_cast<std::uint64_t>(std::max(st.cold_rounds, 0)),
+        std::memory_order_relaxed);
     out = *warm_replay_;
     out.warm = WarmInfo{};
     out.warm.enabled = true;
@@ -428,6 +523,7 @@ RouteReport& SorEngine::route_warm_into(const Demand& demand,
   }
 
   {
+    const obs::TraceSpan span(hit ? "seed" : "cold", "warm");
     auto scratch = scratch_pool_.acquire();
     route_one_into(demand, spec, rng_, *scratch, out, &hooks);
   }
@@ -442,6 +538,15 @@ RouteReport& SorEngine::route_warm_into(const Demand& demand,
     out.warm.enabled = true;
     return out;
   }
+  if (hit) {
+    obs::ServiceCounters& counters = obs::service_counters();
+    counters.warm_hits.fetch_add(1, std::memory_order_relaxed);
+    counters.warm_rounds_saved.fetch_add(
+        static_cast<std::uint64_t>(
+            std::max(0, st.cold_rounds - out.solution.rounds_used)),
+        std::memory_order_relaxed);
+  }
+  const obs::TraceSpan capture_span("capture", "warm");
   st.valid = true;
   st.graph_version = graph_version_;
   st.paths_version = paths_version_;
@@ -496,6 +601,13 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
                                const warm::RouteWarmHooks* hooks) const {
   const PathSystem& ps = *paths_;
 
+  // Service counters are always on (relaxed atomic bumps — no allocation,
+  // no influence on results); spans cost one atomic load while tracing is
+  // disarmed. See docs/observability.md for the overhead contract.
+  obs::ServiceCounters& counters = obs::service_counters();
+  counters.routes_served.fetch_add(1, std::memory_order_relaxed);
+  const auto call_start = Clock::now();
+
   // The probe covers the whole stage-3..5 pipeline on this thread; a warm
   // scratch + reused `out` make the delta zero in the steady state.
   const runtime::AllocProbe probe;
@@ -526,8 +638,16 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
     optimum_opts.warm = hooks->free_path;
     optimum_opts.capture_log_x = hooks->capture_free;
   }
+  // Opt-in convergence telemetry: the sink binds RouteReport.convergence
+  // (constructing it clears stale records either way, capacity retained);
+  // only the restricted solve — the route itself — records through it.
+  obs::ConvergenceSink sink(out.convergence);
+  if (spec.record_convergence && !spec.exact) {
+    restricted_opts.sink = &sink;
+  }
 
   {
+    obs::TraceSpan stage("route", "engine");
     const auto start = Clock::now();
     if (spec.exact) {
       out.solution = route_fractional_exact(*graph_, ps, demand);
@@ -536,10 +656,15 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
                             scratch.route, out.solution);
     }
     out.times.route_ms = ms_since(start);
+    stage.set_arg("rounds", static_cast<std::uint64_t>(std::max(
+                                out.solution.rounds_used, 0)));
   }
   out.congestion = out.solution.congestion;
   out.solve_status = out.solution.status;
   out.optimality_gap = out.solution.optimality_gap;
+  counters.mwu_rounds.fetch_add(
+      static_cast<std::uint64_t>(std::max(out.solution.rounds_used, 0)),
+      std::memory_order_relaxed);
 
   double lb = 0.0;
   if (spec.compute_lower_bound) {
@@ -549,6 +674,7 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
     }
   }
   if (spec.compute_optimum) {
+    const obs::TraceSpan stage("optimum", "engine");
     const auto start = Clock::now();
     out.optimum =
         optimal_congestion(*graph_, demand, optimum_opts, scratch.optimum);
@@ -560,6 +686,7 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
 
   if ((spec.round_integral || spec.simulate_packets) &&
       is_near_integral(demand)) {
+    const obs::TraceSpan stage("rounding", "engine");
     const auto start = Clock::now();
     IntegralSolution integral = round_randomized(
         *graph_, out.solution, rng, spec.rounding_trials,
@@ -586,12 +713,14 @@ void SorEngine::route_one_into(const Demand& demand, const RouteSpec& spec,
         packet_paths[next++].assign(p.begin(), p.end());
       }
     }
+    const obs::TraceSpan stage("sim", "engine");
     const auto start = Clock::now();
     out.simulation = simulate_packets(*graph_, packet_paths, spec.policy, rng);
     out.times.sim_ms = ms_since(start);
   }
 
   out.mem = probe.delta();
+  counters.route_ms.observe_ms(ms_since(call_start));
 }
 
 }  // namespace sor

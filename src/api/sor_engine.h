@@ -68,6 +68,7 @@
 #include "core/semi_oblivious.h"
 #include "fault/sor_error.h"
 #include "graph/graph.h"
+#include "obs/convergence.h"
 #include "runtime/alloc_stats.h"
 #include "runtime/scratch.h"
 #include "scale/aggregate.h"
@@ -88,6 +89,10 @@ namespace warm {
 struct WarmStartState;
 struct RouteWarmHooks;
 }  // namespace warm
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Stage 2 knobs: how to alpha-sample the candidate PathSystem.
 struct SamplingSpec {
@@ -158,6 +163,17 @@ struct RouteSpec {
   /// all-zero). Serial route()/route_into() only; route_batch rejects it.
   /// Exposed as `sor_cli --warm-start`.
   bool warm_start = false;
+  /// Opt-in per-round convergence telemetry (default OFF; see
+  /// obs/convergence.h and docs/observability.md). When on, the restricted
+  /// MWU solve appends one ConvergenceRecord per round into
+  /// RouteReport.convergence — congestion of the averaged iterate, dual
+  /// certificate, running lower bound, certified gap, touched-edge count.
+  /// Observation only: results are bit-identical with the flag on or off
+  /// (bench_m10's identity row pins this); recording costs one extra O(m)
+  /// scan per round plus one bounded vector (capacity retained across
+  /// route_into reuse). Ignored by the exact-LP path (no rounds to
+  /// record). Exposed as `sor_cli --convergence-out`.
+  bool record_convergence = false;
 };
 
 /// Wall-clock per pipeline stage, milliseconds.
@@ -224,6 +240,11 @@ struct RouteReport {
 
   /// Warm-start outcome (all-zero unless RouteSpec::warm_start).
   WarmInfo warm;
+
+  /// Per-round restricted-MWU convergence trajectory (empty unless
+  /// RouteSpec::record_convergence; dump with
+  /// obs::write_convergence_csv/json or `sor_cli --convergence-out`).
+  std::vector<obs::ConvergenceRecord> convergence;
 };
 
 /// What route_batch does when a demand fails — during ingest (malformed
@@ -445,6 +466,18 @@ class SorEngine {
     std::size_t rss_bytes = 0;        ///< process RSS (0 if unavailable)
   };
   MemStats mem_stats() const;
+
+  /// Metrics snapshot for exposition (sor_cli --metrics-out renders it in
+  /// Prometheus text format; include obs/metrics.h to use the result).
+  /// Folds the process-wide obs::service_counters() — routes served, MWU
+  /// rounds, warm hits, degraded epochs, fault fires, the route-latency
+  /// histogram — with this engine's memory gauges (PathStore arena,
+  /// installed pairs, RSS) and the per-thread allocation counters.
+  /// Unmeasurable gauges are ABSENT, never 0: alloc counters only appear
+  /// when runtime::counting_compiled(), RSS only when the platform
+  /// reports it.
+  obs::MetricsRegistry metrics() const;
+
   /// The engine's deterministic random stream (construction + sampling +
   /// rounding draw from it in order).
   Rng& rng() { return rng_; }

@@ -50,6 +50,8 @@
 
 #include "api/sor_engine.h"
 #include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scale/demand_source.h"
 
 namespace sor {
@@ -108,6 +110,7 @@ BatchReport SorEngine::route_batch(scale::DemandSource& source,
         "round downstream)");
   }
   const PathSystem& ps = paths();  // std::logic_error before install_paths()
+  obs::TraceSpan batch_span("batch", "batch");
   const auto start = Clock::now();
   const int n = graph_->num_vertices();
   const std::size_t num_edges =
@@ -380,6 +383,12 @@ BatchReport SorEngine::route_batch(scale::DemandSource& source,
                  batch.global_edge_load[e] / graph_->edges()[e].capacity);
   }
   batch.wall_ms = ms_since(start);
+  obs::ServiceCounters& counters = obs::service_counters();
+  counters.batches.fetch_add(1, std::memory_order_relaxed);
+  counters.batch_demands.fetch_add(batch.num_demands,
+                                   std::memory_order_relaxed);
+  counters.batch_failed.fetch_add(batch.num_failed, std::memory_order_relaxed);
+  batch_span.set_arg("demands", batch.num_demands);
   return batch;
 }
 

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sor::fault {
 namespace {
 
@@ -114,18 +117,34 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text) {
   return plan;
 }
 
+namespace {
+
+// Every triggered injection is observable: a service counter bump plus an
+// instant trace event at the fire site (kSiteNames are static strings, as
+// the recorder requires). Pure observation — trigger decisions are
+// unaffected.
+bool record_fire(Site site, std::uint64_t index) {
+  obs::service_counters().fault_fires.fetch_add(1, std::memory_order_relaxed);
+  obs::tracer().record_instant(site_name(site), "fault", "index", index);
+  return true;
+}
+
+}  // namespace
+
 bool FaultPlan::fires(Site site, std::uint64_t index) const {
   for (const Rule& rule : rules_) {
     if (rule.site != site) continue;
     switch (rule.kind) {
       case Rule::Kind::kAt:
-        if (index + 1 == rule.k) return true;
+        if (index + 1 == rule.k) return record_fire(site, index);
         break;
       case Rule::Kind::kEvery:
-        if ((index + 1) % rule.k == 0) return true;
+        if ((index + 1) % rule.k == 0) return record_fire(site, index);
         break;
       case Rule::Kind::kProb:
-        if (uniform01(seed_, site, index) < rule.p) return true;
+        if (uniform01(seed_, site, index) < rule.p) {
+          return record_fire(site, index);
+        }
         break;
     }
   }

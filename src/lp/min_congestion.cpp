@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "graph/shortest_path.h"
+#include "obs/convergence.h"
 
 namespace sor {
 
@@ -532,6 +533,20 @@ void min_congestion_over_paths_into(const Graph& g,
         }
       }
     }
+    // Opt-in convergence telemetry: observation only (reads cumulative
+    // state, writes nothing the solver reads back), gated on the null
+    // pointer so the default path is bit-identical to a build without it.
+    if (options.sink != nullptr) {
+      double cur = 0.0;
+      for (std::size_t e = 0; e < m; ++e) {
+        cur = std::max(cur, cumulative_load[e] /
+                                (static_cast<double>(round + 1) * cap[e]));
+      }
+      options.sink->record({round + 1, cur, dual, best_lower,
+                            certified_gap(cur, best_lower),
+                            static_cast<int>(touched.size())});
+    }
+
     for (int e : touched) round_load[static_cast<std::size_t>(e)] = 0.0;
     touched.clear();
 
@@ -992,6 +1007,19 @@ void min_congestion_free_into(const Graph& g,
         }
       }
     }
+    // Opt-in convergence telemetry (same null-gated observation-only
+    // discipline as the restricted solver above).
+    if (options.sink != nullptr) {
+      double cur = 0.0;
+      for (std::size_t e = 0; e < m; ++e) {
+        cur = std::max(cur, cumulative_load[e] /
+                                (static_cast<double>(round + 1) * cap[e]));
+      }
+      options.sink->record({round + 1, cur, dual, best_lower,
+                            certified_gap(cur, best_lower),
+                            static_cast<int>(touched.size())});
+    }
+
     for (int e : touched) round_load[static_cast<std::size_t>(e)] = 0.0;
     touched.clear();
 

@@ -31,6 +31,10 @@
 
 namespace sor {
 
+namespace obs {
+class ConvergenceSink;
+}  // namespace obs
+
 /// One source-destination pair with a demand amount (d(s,t) in the paper).
 struct Commodity {
   int s = 0;
@@ -118,6 +122,15 @@ struct MinCongestionOptions {
   /// the capture half of the warm-start cycle. Null = no capture; results
   /// are unaffected either way.
   std::vector<double>* capture_log_x = nullptr;
+  /// Opt-in per-round convergence telemetry (see obs/convergence.h): when
+  /// non-null, each round appends one ConvergenceRecord — congestion of
+  /// the averaged iterate, dual certificate, running lower bound,
+  /// certified gap, touched-edge count — after that round's load
+  /// aggregation. Observation only: a solve with a sink attached is
+  /// bit-identical to one without (the extra per-round congestion scan
+  /// reads solver state, never writes it). Null (default) = no recording
+  /// and no extra work.
+  obs::ConvergenceSink* sink = nullptr;
   /// Opt-in fast-math mode (default OFF). Replaces the reference loop's
   /// O(m)-per-round serial total-sum of the adversary weights with a
   /// segmented accumulator sum — in the restricted solver the untouched-edge

@@ -1,0 +1,52 @@
+#include "obs/convergence.h"
+
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "io/serialization.h"
+
+namespace sor::obs {
+
+namespace {
+
+const char* const kHeader = "round,congestion,dual,best_lower,gap,touched_edges";
+
+// format_double renders non-finite values as "inf"/"nan" (fine for the
+// CSV, which the plot tool accepts), but bare inf is not valid JSON —
+// the JSON writer maps non-finite to null instead. The only non-finite
+// field in practice is gap before the first positive dual bound.
+std::string json_number(double value) {
+  return std::isfinite(value) ? io::detail::format_double(value) : "null";
+}
+
+}  // namespace
+
+void write_convergence_csv(std::ostream& out,
+                           std::span<const ConvergenceRecord> records) {
+  using io::detail::format_double;
+  out << kHeader << "\n";
+  for (const ConvergenceRecord& r : records) {
+    out << r.round << "," << format_double(r.congestion) << ","
+        << format_double(r.dual) << "," << format_double(r.best_lower) << ","
+        << format_double(r.gap) << "," << r.touched_edges << "\n";
+  }
+}
+
+void write_convergence_json(std::ostream& out,
+                            std::span<const ConvergenceRecord> records) {
+  out << "[";
+  bool first = true;
+  for (const ConvergenceRecord& r : records) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"round\":" << r.round << ",\"congestion\":"
+        << json_number(r.congestion) << ",\"dual\":" << json_number(r.dual)
+        << ",\"best_lower\":" << json_number(r.best_lower) << ",\"gap\":"
+        << json_number(r.gap) << ",\"touched_edges\":" << r.touched_edges
+        << "}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace sor::obs

@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "io/serialization.h"
+
+namespace sor::obs {
+
+const double LatencyHistogram::kBoundsMs[LatencyHistogram::kNumBounds] = {
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 100.0, 1000.0,
+};
+
+void LatencyHistogram::observe_ms(double ms) {
+  if (!(ms >= 0.0)) ms = 0.0;  // clock skew / NaN guard
+  int i = 0;
+  while (i < kNumBounds && ms > kBoundsMs[i]) ++i;
+  buckets_[static_cast<std::size_t>(i)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<std::uint64_t>(ms * 1000.0),
+                    std::memory_order_relaxed);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+}
+
+void ServiceCounters::reset() {
+  routes_served.store(0, std::memory_order_relaxed);
+  mwu_rounds.store(0, std::memory_order_relaxed);
+  batches.store(0, std::memory_order_relaxed);
+  batch_demands.store(0, std::memory_order_relaxed);
+  batch_failed.store(0, std::memory_order_relaxed);
+  installs.store(0, std::memory_order_relaxed);
+  rebuilds.store(0, std::memory_order_relaxed);
+  capacity_edits.store(0, std::memory_order_relaxed);
+  warm_hits.store(0, std::memory_order_relaxed);
+  warm_replays.store(0, std::memory_order_relaxed);
+  warm_rounds_saved.store(0, std::memory_order_relaxed);
+  scenario_epochs.store(0, std::memory_order_relaxed);
+  degraded_epochs.store(0, std::memory_order_relaxed);
+  scenario_reinstalls.store(0, std::memory_order_relaxed);
+  fault_fires.store(0, std::memory_order_relaxed);
+  route_ms.reset();
+}
+
+ServiceCounters& service_counters() {
+  static ServiceCounters counters;
+  return counters;
+}
+
+void MetricsRegistry::counter(std::string name, std::uint64_t value,
+                              std::string help) {
+  Entry e;
+  e.kind = Entry::Kind::kCounter;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.value = static_cast<double>(value);
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::gauge(std::string name, double value, std::string help) {
+  Entry e;
+  e.kind = Entry::Kind::kGauge;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.value = value;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::histogram(std::string name, const LatencyHistogram& h,
+                                std::string help) {
+  Entry e;
+  e.kind = Entry::Kind::kHistogram;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.buckets.reserve(LatencyHistogram::kNumBounds + 1);
+  for (int i = 0; i <= LatencyHistogram::kNumBounds; ++i) {
+    e.buckets.push_back(h.bucket(i));
+  }
+  e.count = h.count();
+  e.sum = h.sum_ms();
+  entries_.push_back(std::move(e));
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.kind != Entry::Kind::kHistogram && e.name == name) return true;
+  }
+  return false;
+}
+
+double MetricsRegistry::value_or(const std::string& name,
+                                 double fallback) const {
+  for (const Entry& e : entries_) {
+    if (e.kind != Entry::Kind::kHistogram && e.name == name) return e.value;
+  }
+  return fallback;
+}
+
+namespace {
+
+// Counters are integral by construction; render them without a decimal
+// point so the exposition diffs cleanly against expected values.
+std::string format_value(double value) {
+  if (std::isfinite(value) && value >= 0.0 && value <= 1.8e18 &&
+      value == std::floor(value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return std::string(buf);
+  }
+  return io::detail::format_double(value);
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  using io::detail::format_double;
+  for (const Entry& e : entries_) {
+    if (!e.help.empty()) out << "# HELP " << e.name << " " << e.help << "\n";
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        out << "# TYPE " << e.name << " counter\n";
+        out << e.name << " " << format_value(e.value) << "\n";
+        break;
+      case Entry::Kind::kGauge:
+        out << "# TYPE " << e.name << " gauge\n";
+        out << e.name << " " << format_value(e.value) << "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        out << "# TYPE " << e.name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < LatencyHistogram::kNumBounds; ++i) {
+          cumulative += e.buckets[static_cast<std::size_t>(i)];
+          out << e.name << "_bucket{le=\""
+              << format_double(LatencyHistogram::kBoundsMs[i]) << "\"} "
+              << cumulative << "\n";
+        }
+        cumulative += e.buckets[LatencyHistogram::kNumBounds];
+        out << e.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        out << e.name << "_sum " << format_double(e.sum) << "\n";
+        out << e.name << "_count " << e.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace sor::obs

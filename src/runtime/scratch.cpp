@@ -1,5 +1,7 @@
 #include "runtime/scratch.h"
 
+#include "obs/trace.h"
+
 namespace sor::runtime {
 
 ScratchPool::Lease ScratchPool::acquire() {
@@ -12,7 +14,10 @@ ScratchPool::Lease ScratchPool::acquire() {
     }
   }
   // Mint outside the lock: construction is the expensive path and only
-  // happens while the pool is still growing to its steady width.
+  // happens while the pool is still growing to its steady width. The
+  // instant marks exactly those growth events — a trace of a steady-state
+  // run shows none.
+  obs::tracer().record_instant("scratch_mint", "runtime");
   return Lease(*this, std::make_unique<EngineScratch>());
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/trace.h"
+
 namespace sor::scale {
 
 namespace {
@@ -42,6 +44,10 @@ void BatchAggregator::reset() {
 void BatchAggregator::grow_table() {
   const std::size_t capacity =
       table_.empty() ? 64 : table_.size() * 2;
+  // Rehashes are the aggregator's only steady-state allocation source;
+  // marking each one makes ingest-time growth visible in a trace.
+  obs::tracer().record_instant("agg_table_grow", "scale", "capacity",
+                               static_cast<std::uint64_t>(capacity));
   table_.assign(capacity, -1);
   mask_ = capacity - 1;
   for (std::size_t g = 0; g < groups_.size(); ++g) {

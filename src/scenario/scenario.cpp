@@ -10,6 +10,8 @@
 
 #include "graph/generators.h"
 #include "io/serialization.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sor::scenario {
 namespace {
@@ -252,6 +254,8 @@ ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
   bool have_install = false;
 
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    obs::TraceSpan epoch_span("epoch", "scenario");
+    epoch_span.set_arg("epoch", static_cast<std::uint64_t>(epoch));
     EpochReport row;
     row.epoch = epoch;
     bool skip_epoch = false;  // kSkipEpoch absorbed a failure this epoch
@@ -420,6 +424,16 @@ ScenarioReport run_scenario(SorEngine& engine, const ScenarioSpec& spec,
     row.arena_ints = engine.mem_stats().arena_ints;
 
     if (row.degraded) ++report.degraded_epochs;
+    {
+      obs::ServiceCounters& counters = obs::service_counters();
+      counters.scenario_epochs.fetch_add(1, std::memory_order_relaxed);
+      if (row.degraded) {
+        counters.degraded_epochs.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (row.reinstalled) {
+        counters.scenario_reinstalls.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     report.total_install_ms += row.install_ms;
     report.total_route_ms += row.route_ms;
     report.total_optimum_ms += row.optimum_ms;

@@ -1,5 +1,7 @@
 #include "warm/column_pool.h"
 
+#include "obs/trace.h"
+
 namespace sor::warm {
 
 std::size_t ColumnPool::num_columns() const {
@@ -26,6 +28,7 @@ const PairColumns* ColumnPool::find(int s, int t) const {
 }
 
 void ColumnPool::apply_remap(const PathRemap& remap) {
+  std::uint64_t evicted = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     bool alive = true;
     for (Column& col : it->second.columns) {
@@ -36,7 +39,13 @@ void ColumnPool::apply_remap(const PathRemap& remap) {
         break;
       }
     }
+    if (!alive) ++evicted;
     it = alive ? std::next(it) : entries_.erase(it);
+  }
+  if (evicted > 0) {
+    // One instant per remap that lost pairs: warm-start quality decays
+    // exactly where these land in the timeline.
+    obs::tracer().record_instant("columns_evicted", "warm", "pairs", evicted);
   }
 }
 
